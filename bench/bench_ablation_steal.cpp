@@ -1,0 +1,48 @@
+// Ablation: steal-granularity sweep and rapid-diffusion contribution.
+//
+// The thesis states "the work stealing granularity parameter has a strong
+// impact on performance" and picks 8 (IB) / 20 (Ethernet); rapid diffusion
+// (steal-half) is claimed to mitigate local starvation under local-first
+// stealing. This bench quantifies both on our model.
+#include <cstdio>
+#include <iostream>
+
+#include "uts_driver.hpp"
+#include "util/cli.hpp"
+
+namespace {
+using namespace hupc;  // NOLINT
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  uts::TreeParams tree = uts::paper_tree();
+  if (cli.get_bool("quick", false)) tree.root_seed = 42;
+  const int threads = static_cast<int>(cli.get_int("threads", 64));
+  const int nodes = static_cast<int>(cli.get_int("nodes", 16));
+
+  bench::banner("Ablation — UTS steal granularity and rapid diffusion",
+                "thesis picks k=8 (IB) / k=20 (Ethernet); steal-half "
+                "mitigates starvation under local-first stealing");
+
+  for (const std::string conduit : {"ib-ddr", "gige"}) {
+    std::printf("\n--- %s, %d threads, %d nodes ---\n", conduit.c_str(),
+                threads, nodes);
+    util::Table table({"Granularity", "Fixed-k local-first (Mn/s)",
+                       "+ rapid diffusion (Mn/s)", "Diffusion gain"});
+    for (int k : {1, 2, 4, 8, 16, 32, 64}) {
+      const auto fixed = bench::run_uts(tree, threads, nodes, conduit,
+                                        bench::UtsVariant::local_steal, k);
+      const auto diff = bench::run_uts(
+          tree, threads, nodes, conduit,
+          bench::UtsVariant::local_steal_diffusion, k);
+      table.add_row({std::to_string(k),
+                     util::Table::num(fixed.mnodes_per_s, 1),
+                     util::Table::num(diff.mnodes_per_s, 1),
+                     util::Table::num(diff.mnodes_per_s / fixed.mnodes_per_s, 2) +
+                         "x"});
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Calibration self-check: measures every model endpoint DESIGN.md §6 fits
+// a constant against, in one place. If a refactor drifts a cost model,
+// this bench shows which knob moved.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "gas/gas.hpp"
+#include "net/network.hpp"
+#include "sim/sim.hpp"
+#include "stream/stream.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace hupc;  // NOLINT
+
+double node_stream_bw() {
+  sim::Engine e;
+  gas::Runtime rt(e, bench::make_config("lehman", 1, 8));
+  return stream::hybrid_triad(rt, 4 << 20, 0, core::SubModel::openmp)
+      .gbytes_per_s;
+}
+
+double single_flow_gbs() {
+  sim::Engine e;
+  const auto m = topo::lehman(2);
+  net::Network nw(e, m, net::ib_qdr(), net::ConnectionMode::per_process, 8);
+  sim::spawn(e, [](net::Network& n) -> sim::Task<void> {
+    co_await n.rma(0, 0, 1, 1e9);
+  }(nw));
+  e.run();
+  return 1.0 / sim::to_seconds(e.now());
+}
+
+double nic_aggregate_gbs() {
+  sim::Engine e;
+  const auto m = topo::lehman(2);
+  net::Network nw(e, m, net::ib_qdr(), net::ConnectionMode::per_process, 8);
+  for (int ep = 0; ep < 4; ++ep) {
+    sim::spawn(e, [](net::Network& n, int endpoint) -> sim::Task<void> {
+      co_await n.rma(0, endpoint, 1, 1e9);
+    }(nw, ep));
+  }
+  e.run();
+  return 4.0 / sim::to_seconds(e.now());
+}
+
+double small_message_rtt_us() {
+  sim::Engine e;
+  const auto m = topo::lehman(2);
+  net::Network nw(e, m, net::ib_qdr(), net::ConnectionMode::per_process, 8);
+  sim::spawn(e, [](net::Network& n) -> sim::Task<void> {
+    co_await n.rma(0, 0, 1, 8);
+    co_await n.rma(1, 0, 0, 8);
+  }(nw));
+  e.run();
+  return sim::to_micros(e.now());
+}
+
+double translation_slowdown() {
+  // 8 threads, as in Table 3.1: the memory share per thread sets the
+  // privatized baseline the translation overhead is compared against.
+  auto run = [](bool privatized) {
+    sim::Engine e;
+    gas::Runtime rt(e, bench::make_config("lehman", 1, 8));
+    rt.spmd([privatized](gas::Thread& t) -> sim::Task<void> {
+      co_await t.shared_loop(t.rank() ^ 1, 1 << 20, 24.0, privatized);
+    });
+    rt.run_to_completion();
+    return sim::to_seconds(e.now());
+  };
+  return run(false) / run(true);
+}
+
+double numa_penalty_measured() {
+  auto run = [](int socket) {
+    sim::Engine e;
+    mem::MemorySystem ms(e, topo::lehman(1));
+    sim::spawn(e, [](mem::MemorySystem& mem, int s) -> sim::Task<void> {
+      co_await mem.access(topo::HwLoc{0, s, 0, 0}, topo::HwLoc{0, 0, 0, 0},
+                          100000, 8.0);
+    }(ms, socket));
+    e.run();
+    return sim::to_seconds(e.now());
+  };
+  return run(1) / run(0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  (void)cli;
+  bench::banner("Calibration self-check",
+                "every DESIGN.md §6 endpoint, measured from the live model");
+
+  util::Table table({"Endpoint", "Measured", "Target (paper)"});
+  table.add_row({"Lehman node STREAM triad (GB/s)",
+                 util::Table::num(node_stream_bw(), 1), "23.4 - 24.5"});
+  table.add_row({"QDR single-flow rate (GB/s)",
+                 util::Table::num(single_flow_gbs(), 2), "~1.5 (Fig 4.2b)"});
+  table.add_row({"QDR NIC aggregate (GB/s)",
+                 util::Table::num(nic_aggregate_gbs(), 2), "~2.4 (Fig 4.2b)"});
+  table.add_row({"QDR 8 B round trip (us)",
+                 util::Table::num(small_message_rtt_us(), 1),
+                 "2 - 4 (Fig 4.2a)"});
+  table.add_row({"Shared-pointer translation slowdown (x)",
+                 util::Table::num(translation_slowdown(), 1),
+                 "~7 (Table 3.1: 23.2/3.2)"});
+  table.add_row({"NUMA remote-access penalty (x)",
+                 util::Table::num(numa_penalty_measured(), 2),
+                 "1.15 - 1.40 (thesis 2.1)"});
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Shared plumbing for the paper-reproduction bench binaries: machine/config
+// construction from CLI flags and uniform headers so every binary's output
+// names the table/figure it regenerates.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "gas/gas.hpp"
+#include "net/conduit.hpp"
+#include "topo/machine.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace hupc::bench {
+
+inline void banner(const char* experiment, const char* paper_result) {
+  std::printf("=====================================================================\n");
+  std::printf("HUPC reproduction | %s\n", experiment);
+  std::printf("Paper reference   | %s\n", paper_result);
+  std::printf("=====================================================================\n");
+}
+
+/// Build a gas::Config for a named machine preset.
+inline gas::Config make_config(const std::string& machine, int nodes,
+                               int threads,
+                               gas::Backend backend = gas::Backend::processes,
+                               const std::string& conduit = "") {
+  gas::Config cfg;
+  if (machine == "pyramid") {
+    cfg.machine = topo::pyramid(nodes);
+    cfg.conduit = net::ib_ddr();
+  } else {
+    cfg.machine = topo::lehman(nodes);
+    cfg.conduit = net::ib_qdr();
+  }
+  if (conduit == "gige") cfg.conduit = net::gige();
+  if (conduit == "ib-qdr") cfg.conduit = net::ib_qdr();
+  if (conduit == "ib-ddr") cfg.conduit = net::ib_ddr();
+  cfg.threads = threads;
+  cfg.backend = backend;
+  return cfg;
+}
+
+}  // namespace hupc::bench

@@ -1,0 +1,67 @@
+// Reproduces Fig 4.5: "Time spent in communication calls of the split-phase
+// implementation" — NAS FT class B comm time for MPI / UPC processes /
+// UPC pthreads / UPC x Threads (hybrid) as cores per node grow, on both
+// clusters: (a) Lehman (8 nodes, 8..64 cores + 2-way SMT at 128) and
+// (b) Pyramid (16 nodes, 16..128 cores).
+//
+// Paper shape: nothing scales past 2 threads/node; at full subscription
+// MPI < hybrid < pthreads < processes; MPI's edge comes from the tuned
+// collective, the hybrid's from centralizing traffic on one endpoint per
+// node (fewer, larger messages through the shared network-API path).
+#include <cstdio>
+#include <iostream>
+
+#include "ft_driver.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace hupc;  // NOLINT
+
+void run_platform(const char* machine, int nodes,
+                  const std::vector<int>& core_counts, fft::FtParams grid) {
+  std::printf("\n--- %s (%d nodes) ---\n", machine, nodes);
+  util::Table table({"Cores", "MPI (s)", "UPC processes (s)",
+                     "UPC pthreads (s)", "UPC*Threads hybrid (s)"});
+  for (int cores : core_counts) {
+    const auto mpi =
+        bench::run_ft(machine, nodes, cores, 0, bench::FtExec::mpi, grid,
+                      fft::CommVariant::split_phase);
+    const auto procs =
+        bench::run_ft(machine, nodes, cores, 0, bench::FtExec::upc_processes,
+                      grid, fft::CommVariant::split_phase);
+    const auto pthr =
+        bench::run_ft(machine, nodes, cores, 0, bench::FtExec::upc_pthreads,
+                      grid, fft::CommVariant::split_phase);
+    // Hybrid: two UPC masters per node (one per socket — the best-practice
+    // binding of §4.3.2; a single master per node would be capped at one
+    // endpoint's wire rate), subs fill the rest of the node's cores.
+    const int masters = std::min(cores, 2 * nodes);
+    const int subs = std::max(1, cores / masters);
+    const auto hybrid =
+        bench::run_ft(machine, nodes, masters, subs,
+                      bench::FtExec::hybrid_openmp, grid,
+                      fft::CommVariant::split_phase);
+    table.add_row({std::to_string(cores), util::Table::num(mpi.mean.comm, 3),
+                   util::Table::num(procs.mean.comm, 3),
+                   util::Table::num(pthr.mean.comm, 3),
+                   util::Table::num(hybrid.mean.comm, 3)});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto grid = cli.get_bool("quick", false) ? fft::FtParams::class_a()
+                                                 : fft::FtParams::class_b();
+
+  bench::banner("Fig 4.5 — FT class B: time in communication calls",
+                "no scaling past 2 threads/node; at full subscription "
+                "MPI < hybrid < pthreads < processes");
+
+  run_platform("lehman", 8, {8, 16, 32, 64, 128}, grid);
+  run_platform("pyramid", 16, {16, 32, 64, 128}, grid);
+  return 0;
+}

@@ -1,0 +1,66 @@
+// RandomAccess (GUPS) under thread groups — the second application class
+// the thesis assigns to the thread-group approach (§4.4). Not a paper
+// figure (the thesis names it without measurements); this bench supplies
+// the numbers: naive fine-grained remote AMOs vs supernode-privatized +
+// bucketed updates, across node counts and both networks.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sim/sim.hpp"
+#include "stream/random_access.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace hupc;  // NOLINT
+
+stream::GupsResult run_gups(int threads, int nodes, const std::string& conduit,
+                            stream::GupsVariant variant, int log2_table,
+                            std::uint64_t updates) {
+  sim::Engine engine;
+  auto config = bench::make_config("pyramid", nodes, threads,
+                                   gas::Backend::processes, conduit);
+  gas::Runtime rt(engine, config);
+  stream::RandomAccess ra(rt, log2_table);
+  return ra.run(variant, updates);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const int log2_table = static_cast<int>(cli.get_int("log2-table", 16));
+  const auto updates =
+      static_cast<std::uint64_t>(cli.get_int("updates", 8192));
+
+  bench::banner("RandomAccess (GUPS) with thread groups",
+                "thesis §4.4 names Random Access as a thread-group "
+                "application; bucketed supernode updates vs naive AMOs");
+
+  for (const std::string conduit : {"ib-ddr", "gige"}) {
+    std::printf("\n--- Network: %s ---\n", conduit.c_str());
+    util::Table table({"Threads/Nodes", "Naive (MUP/s)", "Grouped (MUP/s)",
+                       "Gain", "Local updates"});
+    for (const auto& [threads, nodes] :
+         {std::pair{16, 2}, {32, 4}, {64, 8}, {128, 16}}) {
+      const auto naive = run_gups(threads, nodes, conduit,
+                                  stream::GupsVariant::naive, log2_table,
+                                  updates);
+      const auto grouped = run_gups(threads, nodes, conduit,
+                                    stream::GupsVariant::grouped, log2_table,
+                                    updates);
+      char label[32];
+      std::snprintf(label, sizeof label, "%d/%d", threads, nodes);
+      table.add_row(
+          {label, util::Table::num(naive.gups * 1e3, 1),
+           util::Table::num(grouped.gups * 1e3, 1),
+           util::Table::num(grouped.gups / naive.gups, 1) + "x",
+           util::Table::pct(static_cast<double>(grouped.local) /
+                                static_cast<double>(grouped.updates),
+                            1)});
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,130 @@
+// google-benchmark microbenchmarks of the substrate primitives: event
+// queue throughput, coroutine spawn/switch, fluid-link recomputation,
+// global-pointer arithmetic, SHA-1 (the UTS per-node cost), and FFT
+// kernels. These are the "is the simulator itself fast enough" numbers.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "fft/kernel.hpp"
+#include "gas/heap.hpp"
+#include "sim/sim.hpp"
+#include "uts/sha1.hpp"
+#include "uts/tree.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace hupc;  // NOLINT
+
+void BM_EngineScheduleRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine e;
+    for (int i = 0; i < n; ++i) {
+      e.schedule_at(i, [] {});
+    }
+    e.run();
+    benchmark::DoNotOptimize(e.now());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineScheduleRun)->Arg(1000)->Arg(100000);
+
+void BM_CoroutineSpawnJoin(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine e;
+    for (int i = 0; i < n; ++i) {
+      sim::spawn(e, [](sim::Engine& eng) -> sim::Task<void> {
+        co_await sim::delay(eng, 1);
+      }(e));
+    }
+    e.run();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CoroutineSpawnJoin)->Arg(1000);
+
+void BM_FluidLinkContention(benchmark::State& state) {
+  const int flows = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine e;
+    sim::FluidLink link(e, 1e9);
+    for (int i = 0; i < flows; ++i) {
+      sim::spawn(e, [](sim::FluidLink& l) -> sim::Task<void> {
+        co_await l.transfer(1e6);
+      }(link));
+    }
+    e.run();
+  }
+  state.SetItemsProcessed(state.iterations() * flows);
+}
+BENCHMARK(BM_FluidLinkContention)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_SharedArrayAt(benchmark::State& state) {
+  gas::SharedHeap heap(64);
+  auto arr = heap.all_alloc<double>(1 << 20, 64);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arr.at(i).raw);
+    i = (i + 977) & ((1 << 20) - 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SharedArrayAt);
+
+void BM_Sha1NodeSplit(benchmark::State& state) {
+  uts::Digest d = uts::sha1({});
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    d = uts::split_state(d, i++);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Sha1NodeSplit);
+
+void BM_UtsExpand(benchmark::State& state) {
+  const uts::TreeParams params;
+  uts::Node node = uts::root_node(params);
+  std::vector<uts::Node> children;
+  for (auto _ : state) {
+    children.clear();
+    uts::expand(params, node, children);
+    if (!children.empty()) node = children.front();
+    benchmark::DoNotOptimize(children.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UtsExpand);
+
+void BM_Fft1D(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Xoshiro256ss rng(1);
+  std::vector<fft::Complex> data(n);
+  for (auto& v : data) v = fft::Complex(rng.uniform(), rng.uniform());
+  for (auto _ : state) {
+    fft::fft_inplace(data, -1);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_Fft1D)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_Fft2D(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Xoshiro256ss rng(2);
+  std::vector<fft::Complex> plane(n * n);
+  for (auto& v : plane) v = fft::Complex(rng.uniform(), rng.uniform());
+  for (auto _ : state) {
+    fft::fft_2d(plane.data(), n, n, -1);
+    benchmark::DoNotOptimize(plane.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n * n));
+}
+BENCHMARK(BM_Fft2D)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// Reproduces Table 3.1: "Performance of the Twisted STREAM Triad".
+//
+// 8 threads on one dual-socket Nehalem node (Lehman), odd/even-exchange
+// access pattern. Paper values (GB/s): UPC baseline 3.2, UPC with
+// re-localization 7.2, UPC with cast 23.2, OpenMP baseline 23.4.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sim/sim.hpp"
+#include "stream/stream.hpp"
+
+namespace {
+
+using namespace hupc;  // NOLINT
+
+double run_variant(stream::TriadVariant variant, std::size_t elements) {
+  sim::Engine engine;
+  gas::Runtime rt(engine, bench::make_config("lehman", 1, 8));
+  return stream::twisted_triad(rt, elements, variant).gbytes_per_s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto elements =
+      static_cast<std::size_t>(cli.get_int("elements", 8 << 20));
+
+  bench::banner("Table 3.1 — twisted STREAM triad",
+                "UPC baseline 3.2 | re-localization 7.2 | cast 23.2 | "
+                "OpenMP 23.4 (GB/s, 8 threads, 2x4-core Nehalem)");
+
+  util::Table table({"Variant", "Throughput (GB/s)", "Paper (GB/s)"});
+  struct Row {
+    const char* name;
+    stream::TriadVariant variant;
+    double paper;
+  };
+  const Row rows[] = {
+      {"UPC baseline", stream::TriadVariant::upc_baseline, 3.2},
+      {"UPC with re-localization", stream::TriadVariant::upc_relocalize, 7.2},
+      {"UPC with cast", stream::TriadVariant::upc_cast, 23.2},
+      {"OpenMP baseline", stream::TriadVariant::openmp, 23.4},
+  };
+  for (const Row& row : rows) {
+    table.add_row({row.name, util::Table::num(run_variant(row.variant, elements), 1),
+                   util::Table::num(row.paper, 1)});
+  }
+  table.print(std::cout);
+  return 0;
+}

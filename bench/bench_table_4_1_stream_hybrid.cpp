@@ -1,0 +1,53 @@
+// Reproduces Table 4.1: "Performance of the STREAM Triad" under hybrid
+// UPC x OpenMP thread placement on one Lehman node.
+//
+// Paper values (GB/s): UPC(8) 24.5, OpenMP(8) 23.7, UPC*OpenMP 1x8 = 13.9,
+// 2x4 = 24.7, 4x2 = 24.7. The 1x8 configuration collapses because the
+// shared arrays are first-touched by the single UPC thread and all
+// sub-threads inherit its socket affinity (§4.3.2).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sim/sim.hpp"
+#include "stream/stream.hpp"
+
+namespace {
+
+using namespace hupc;  // NOLINT
+
+double run_hybrid(int upc_threads, int subs, std::size_t elements_total) {
+  sim::Engine engine;
+  gas::Runtime rt(engine, bench::make_config("lehman", 1, upc_threads));
+  const std::size_t per_master =
+      elements_total / static_cast<std::size_t>(upc_threads);
+  return stream::hybrid_triad(rt, per_master, subs, core::SubModel::openmp)
+      .gbytes_per_s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto elements =
+      static_cast<std::size_t>(cli.get_int("elements", 64 << 20));
+
+  bench::banner("Table 4.1 — STREAM triad, hybrid placement",
+                "UPC 24.5 | OpenMP 23.7 | 1x8 = 13.9 | 2x4 = 24.7 | "
+                "4x2 = 24.7 (GB/s)");
+
+  util::Table table({"Variant", "Config (UPC*OpenMP)", "Throughput (GB/s)",
+                     "Paper (GB/s)"});
+  table.add_row({"UPC", "8", util::Table::num(run_hybrid(8, 0, elements), 1),
+                 "24.5"});
+  // The OpenMP-only run is placement-equivalent to 8 bound threads.
+  table.add_row({"OpenMP", "8", util::Table::num(run_hybrid(8, 0, elements), 1),
+                 "23.7"});
+  table.add_row({"UPC*OpenMP", "1*8",
+                 util::Table::num(run_hybrid(1, 8, elements), 1), "13.9"});
+  table.add_row({"UPC*OpenMP", "2*4",
+                 util::Table::num(run_hybrid(2, 4, elements), 1), "24.7"});
+  table.add_row({"UPC*OpenMP", "4*2",
+                 util::Table::num(run_hybrid(4, 2, elements), 1), "24.7"});
+  table.print(std::cout);
+  return 0;
+}

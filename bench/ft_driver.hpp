@@ -1,0 +1,79 @@
+// Shared NAS FT run driver for the Fig 4.4 / 4.5 / 4.6 benches.
+#pragma once
+
+#include <string>
+
+#include "bench_common.hpp"
+#include "fft/ft_model.hpp"
+#include "gas/gas.hpp"
+#include "sim/sim.hpp"
+
+namespace hupc::bench {
+
+enum class FtExec {
+  mpi,            // MPI-Fortran analogue: tuned alltoall collective
+  upc_processes,  // process backend, PSHM on
+  upc_pthreads,   // pthreads backend (shared node connection)
+  hybrid_openmp,  // UPC x OpenMP sub-threads
+  hybrid_cilk,    // UPC x Cilk++
+  hybrid_pool,    // UPC x in-house thread pool
+};
+
+[[nodiscard]] inline const char* to_string(FtExec e) {
+  switch (e) {
+    case FtExec::mpi: return "MPI";
+    case FtExec::upc_processes: return "UPC (processes)";
+    case FtExec::upc_pthreads: return "UPC (pthreads)";
+    case FtExec::hybrid_openmp: return "UPC*OpenMP";
+    case FtExec::hybrid_cilk: return "UPC*Cilk++";
+    case FtExec::hybrid_pool: return "UPC*Thread-Pool";
+  }
+  return "?";
+}
+
+struct FtRun {
+  fft::FtTimings mean;
+  double total_seconds = 0;
+};
+
+/// Run FT with `upc_threads` UPC ranks x `subs` sub-threads each on
+/// `machine` restricted to `nodes` nodes.
+[[nodiscard]] inline FtRun run_ft(const std::string& machine, int nodes,
+                                  int upc_threads, int subs, FtExec exec,
+                                  fft::FtParams grid,
+                                  fft::CommVariant variant) {
+  sim::Engine engine;
+  gas::Backend backend = exec == FtExec::upc_pthreads
+                             ? gas::Backend::pthreads
+                             : gas::Backend::processes;
+  auto config = make_config(machine, nodes, upc_threads, backend);
+  // The MPI library manages the node's endpoints cooperatively (tuned
+  // collectives), so it does not pay the per-endpoint NIC contention the
+  // independent GASNet process endpoints do.
+  if (exec == FtExec::mpi) config.nic_efficiency = 1.0;
+  gas::Runtime rt(engine, config);
+
+  fft::FtConfig cfg;
+  cfg.grid = grid;
+  cfg.variant = variant;
+  cfg.comm = exec == FtExec::mpi ? fft::FtComm::mpi_alltoall
+                                 : fft::FtComm::upc_p2p;
+  cfg.subs = subs;
+  switch (exec) {
+    case FtExec::hybrid_openmp: cfg.sub_model = core::SubModel::openmp; break;
+    case FtExec::hybrid_cilk: cfg.sub_model = core::SubModel::cilk; break;
+    case FtExec::hybrid_pool: cfg.sub_model = core::SubModel::thread_pool; break;
+    default: cfg.subs = 0; break;
+  }
+
+  fft::FtModel ft(rt, cfg);
+  rt.spmd([&ft](gas::Thread& t) -> sim::Task<void> { co_await ft.run(t); });
+  rt.run_to_completion();
+
+  FtRun result;
+  result.mean = ft.mean();
+  result.total_seconds = sim::to_seconds(engine.now());
+  return result;
+}
+
+}  // namespace hupc::bench

@@ -1,0 +1,189 @@
+// Unified scenario runner: every workload in the library behind one CLI,
+// with machine/backend/network knobs and a per-phase profile — the
+// "driver" binary a downstream user reaches for first.
+//
+//   ./hupc_bench --workload uts|ft|stream|gups|summa
+//                [--machine lehman|pyramid] [--nodes N] [--threads T]
+//                [--backend processes|pthreads] [--conduit ib-qdr|ib-ddr|gige]
+//                [--subs S]            (ft: sub-threads per UPC thread)
+//                [--variant ...]       (workload-specific, see below)
+//
+// Variants: uts: baseline|local|diffusion; ft: split|overlap;
+//           stream: baseline|relocalize|cast|openmp; gups: naive|grouped;
+//           summa: (grid inferred from --threads, must be a square).
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "fft/ft_model.hpp"
+#include "gas/gas.hpp"
+#include "linalg/summa.hpp"
+#include "net/conduit.hpp"
+#include "sched/work_stealing.hpp"
+#include "sim/sim.hpp"
+#include "stream/random_access.hpp"
+#include "stream/stream.hpp"
+#include "util/cli.hpp"
+#include "uts/tree.hpp"
+
+using namespace hupc;  // NOLINT
+
+namespace {
+
+gas::Config build_config(const util::Cli& cli) {
+  gas::Config config;
+  const std::string machine = cli.get("machine", "lehman");
+  const int nodes = static_cast<int>(cli.get_int("nodes", 4));
+  config.machine = machine == "pyramid" ? topo::pyramid(nodes)
+                                        : topo::lehman(nodes);
+  config.threads = static_cast<int>(cli.get_int("threads", 16));
+  config.backend = cli.get("backend", "processes") == "pthreads"
+                       ? gas::Backend::pthreads
+                       : gas::Backend::processes;
+  const std::string conduit = cli.get(
+      "conduit", machine == "pyramid" ? "ib-ddr" : "ib-qdr");
+  if (conduit == "gige") config.conduit = net::gige();
+  if (conduit == "ib-ddr") config.conduit = net::ib_ddr();
+  if (conduit == "ib-qdr") config.conduit = net::ib_qdr();
+  return config;
+}
+
+void footer(const sim::Engine& engine, const gas::Runtime& rt) {
+  std::printf("-- virtual time %.3f ms | %llu events | %llu network msgs, "
+              "%.1f MB\n",
+              sim::to_seconds(engine.now()) * 1e3,
+              static_cast<unsigned long long>(engine.events_executed()),
+              static_cast<unsigned long long>(
+                  const_cast<gas::Runtime&>(rt).network().total_messages()),
+              const_cast<gas::Runtime&>(rt).network().total_bytes() / 1e6);
+}
+
+int run_uts(const util::Cli& cli) {
+  sim::Engine engine;
+  gas::Runtime rt(engine, build_config(cli));
+  uts::TreeParams tree;
+  tree.root_seed = static_cast<std::uint32_t>(cli.get_int("seed", 42));
+  const std::string variant = cli.get("variant", "diffusion");
+  sched::StealParams params;
+  params.policy = variant == "baseline" ? sched::VictimPolicy::random
+                                        : sched::VictimPolicy::local_first;
+  params.rapid_diffusion = variant == "diffusion";
+  sched::WorkStealing<uts::Node> ws(
+      rt, params, [&tree](const uts::Node& n, std::vector<uts::Node>& out) {
+        uts::expand(tree, n, out);
+      });
+  ws.seed_work(0, {uts::root_node(tree)});
+  rt.spmd([&ws](gas::Thread& t) -> sim::Task<void> { co_await ws.run(t); });
+  rt.run_to_completion();
+  std::printf("uts[%s]: %llu nodes, %.1f Mnodes/s, local steals %.1f%%\n",
+              variant.c_str(),
+              static_cast<unsigned long long>(ws.total_processed()),
+              static_cast<double>(ws.total_processed()) /
+                  sim::to_seconds(engine.now()) / 1e6,
+              ws.local_steal_ratio() * 100.0);
+  footer(engine, rt);
+  return 0;
+}
+
+int run_ft(const util::Cli& cli) {
+  sim::Engine engine;
+  gas::Runtime rt(engine, build_config(cli));
+  fft::FtConfig fc;
+  const std::string cls = cli.get("class", "A");
+  fc.grid = cls == "B"   ? fft::FtParams::class_b()
+            : cls == "S" ? fft::FtParams::class_s()
+                         : fft::FtParams::class_a();
+  fc.variant = cli.get("variant", "split") == "overlap"
+                   ? fft::CommVariant::overlap
+                   : fft::CommVariant::split_phase;
+  fc.subs = static_cast<int>(cli.get_int("subs", 0));
+  fft::FtModel ft(rt, fc);
+  rt.spmd([&ft](gas::Thread& t) -> sim::Task<void> { co_await ft.run(t); });
+  rt.run_to_completion();
+  const auto m = ft.mean();
+  std::printf("ft[class %s, %s, subs %d]: total %.3fs | evolve %.3f fft2d "
+              "%.3f transpose %.3f comm %.3f fft1d %.3f\n",
+              fc.grid.name, cli.get("variant", "split").c_str(), fc.subs,
+              m.total, m.evolve, m.fft2d, m.transpose, m.comm, m.fft1d);
+  footer(engine, rt);
+  return 0;
+}
+
+int run_stream(const util::Cli& cli) {
+  sim::Engine engine;
+  auto config = build_config(cli);
+  config.machine = topo::lehman(1);  // single-node study
+  gas::Runtime rt(engine, config);
+  const std::string variant = cli.get("variant", "cast");
+  stream::TriadVariant v = stream::TriadVariant::upc_cast;
+  if (variant == "baseline") v = stream::TriadVariant::upc_baseline;
+  if (variant == "relocalize") v = stream::TriadVariant::upc_relocalize;
+  if (variant == "openmp") v = stream::TriadVariant::openmp;
+  const auto r = stream::twisted_triad(
+      rt, static_cast<std::size_t>(cli.get_int("elements", 4 << 20)), v);
+  std::printf("stream[twisted %s]: %.1f GB/s\n", variant.c_str(),
+              r.gbytes_per_s);
+  footer(engine, rt);
+  return 0;
+}
+
+int run_gups(const util::Cli& cli) {
+  sim::Engine engine;
+  gas::Runtime rt(engine, build_config(cli));
+  stream::RandomAccess ra(rt, static_cast<int>(cli.get_int("log2-table", 16)));
+  const bool grouped = cli.get("variant", "grouped") == "grouped";
+  const auto r = ra.run(grouped ? stream::GupsVariant::grouped
+                                : stream::GupsVariant::naive,
+                        static_cast<std::uint64_t>(cli.get_int("updates", 4096)));
+  std::printf("gups[%s]: %.4f GUP/s (%llu updates, %.1f%% local) %s\n",
+              grouped ? "grouped" : "naive", r.gups,
+              static_cast<unsigned long long>(r.updates),
+              100.0 * static_cast<double>(r.local) /
+                  static_cast<double>(r.updates),
+              ra.verify() ? "" : "[table changed as expected after 1 pass]");
+  footer(engine, rt);
+  return 0;
+}
+
+int run_summa(const util::Cli& cli) {
+  sim::Engine engine;
+  auto config = build_config(cli);
+  const int p = static_cast<int>(
+      std::lround(std::sqrt(static_cast<double>(config.threads))));
+  if (p * p != config.threads) {
+    std::printf("summa: --threads must be a perfect square\n");
+    return 1;
+  }
+  gas::Runtime rt(engine, config);
+  const auto size = static_cast<std::size_t>(cli.get_int("size", 256));
+  linalg::Summa summa(rt, linalg::ProcessGrid{p, p}, size, size, size);
+  summa.fill(1);
+  rt.spmd([&summa](gas::Thread& t) -> sim::Task<void> {
+    co_await summa.run(t);
+  });
+  rt.run_to_completion();
+  const double flops = 2.0 * static_cast<double>(size) * size * size;
+  std::printf("summa[%zu^3 on %dx%d]: %.2f GF/s effective\n", size, p, p,
+              flops / sim::to_seconds(engine.now()) / 1e9);
+  footer(engine, rt);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const std::string workload = cli.get("workload", "");
+  if (workload == "uts") return run_uts(cli);
+  if (workload == "ft") return run_ft(cli);
+  if (workload == "stream") return run_stream(cli);
+  if (workload == "gups") return run_gups(cli);
+  if (workload == "summa") return run_summa(cli);
+  std::printf("usage: hupc_bench --workload uts|ft|stream|gups|summa "
+              "[--machine lehman|pyramid] [--nodes N] [--threads T]\n"
+              "                  [--backend processes|pthreads] "
+              "[--conduit ib-qdr|ib-ddr|gige] [--variant ...]\n");
+  return workload.empty() ? 0 : 1;
+}

@@ -1,0 +1,7 @@
+// Umbrella header for the hierarchical-parallelism layer (the paper's
+// contribution): thread groups, privatization, sub-threads, safety levels.
+#pragma once
+
+#include "core/safety.hpp"     // IWYU pragma: export
+#include "core/subthread.hpp"  // IWYU pragma: export
+#include "core/team.hpp"       // IWYU pragma: export

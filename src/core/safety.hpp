@@ -1,0 +1,41 @@
+// Thread-safety levels for GAS calls made from user-spawned sub-threads,
+// mirroring the MPI-2 taxonomy the thesis adopts (§4.2.3):
+//
+//   single     — only the master thread exists; any sub-thread GAS call is
+//                an error (the crash the thesis reports against stock
+//                Berkeley UPC, bug 2808);
+//   funneled   — sub-threads may exist but only the master may make GAS
+//                calls;
+//   serialized — sub-threads may call, one at a time (a per-process gate);
+//   multiple   — unrestricted; contention surfaces in the shared network
+//                connection instead.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hupc::core {
+
+enum class ThreadSafety { single, funneled, serialized, multiple };
+
+[[nodiscard]] constexpr const char* to_string(ThreadSafety s) noexcept {
+  switch (s) {
+    case ThreadSafety::single: return "THREAD_SINGLE";
+    case ThreadSafety::funneled: return "THREAD_FUNNELED";
+    case ThreadSafety::serialized: return "THREAD_SERIALIZED";
+    case ThreadSafety::multiple: return "THREAD_MULTIPLE";
+  }
+  return "?";
+}
+
+/// Thrown when a sub-thread makes a GAS call the configured safety level
+/// forbids — the simulator's version of the runtime crash on missing
+/// per-thread data the thesis describes.
+class ThreadSafetyViolation : public std::logic_error {
+ public:
+  explicit ThreadSafetyViolation(ThreadSafety level)
+      : std::logic_error(std::string("GAS call from sub-thread violates ") +
+                         to_string(level)) {}
+};
+
+}  // namespace hupc::core

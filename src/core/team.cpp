@@ -1,0 +1,88 @@
+#include "core/team.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace hupc::core {
+
+namespace {
+int ceil_log2(int n) {
+  if (n <= 1) return 0;
+  return std::bit_width(static_cast<unsigned>(n - 1));
+}
+}  // namespace
+
+Team::Team(gas::Runtime& rt, std::vector<int> ranks)
+    : rt_(&rt), ranks_(std::move(ranks)) {
+  if (ranks_.empty()) throw std::invalid_argument("Team: empty rank set");
+  if (!std::is_sorted(ranks_.begin(), ranks_.end()) ||
+      std::adjacent_find(ranks_.begin(), ranks_.end()) != ranks_.end()) {
+    throw std::invalid_argument("Team: ranks must be sorted and unique");
+  }
+  for (int r : ranks_) {
+    if (r < 0 || r >= rt.threads()) {
+      throw std::invalid_argument("Team: rank out of range");
+    }
+  }
+  barrier_ = std::make_unique<sim::Barrier>(rt.engine(), size());
+  spans_nodes_ = false;
+  for (int r : ranks_) {
+    if (rt.node_of(r) != rt.node_of(ranks_.front())) {
+      spans_nodes_ = true;
+      break;
+    }
+  }
+}
+
+Team Team::node_team(gas::Runtime& rt, int node) {
+  std::vector<int> members;
+  for (int r = 0; r < rt.threads(); ++r) {
+    if (rt.node_of(r) == node) members.push_back(r);
+  }
+  return Team(rt, std::move(members));
+}
+
+Team Team::socket_team(gas::Runtime& rt, int node, int socket) {
+  std::vector<int> members;
+  for (int r = 0; r < rt.threads(); ++r) {
+    const auto loc = rt.loc_of(r);
+    if (loc.node == node && loc.socket == socket) members.push_back(r);
+  }
+  return Team(rt, std::move(members));
+}
+
+std::vector<Team> Team::all_node_teams(gas::Runtime& rt) {
+  std::vector<Team> teams;
+  teams.reserve(static_cast<std::size_t>(rt.nodes_used()));
+  for (int n = 0; n < rt.nodes_used(); ++n) {
+    teams.push_back(node_team(rt, n));
+  }
+  return teams;
+}
+
+int Team::team_rank(int global) const {
+  const auto it = std::lower_bound(ranks_.begin(), ranks_.end(), global);
+  if (it == ranks_.end() || *it != global) return -1;
+  return static_cast<int>(it - ranks_.begin());
+}
+
+sim::Time Team::barrier_cost() const {
+  const auto& costs = rt_->config().costs;
+  double seconds = costs.barrier_hop_s * ceil_log2(size());
+  if (spans_nodes_) {
+    const auto& c = rt_->config().conduit;
+    seconds += (c.send_overhead_s + c.latency_s + c.recv_overhead_s) *
+               ceil_log2(rt_->nodes_used());
+  }
+  return sim::from_seconds(seconds);
+}
+
+sim::Task<void> Team::barrier([[maybe_unused]] gas::Thread& self) {
+  assert(contains(self.rank()) && "barrier by non-member");
+  co_await barrier_->arrive_and_wait();
+  co_await sim::delay(rt_->engine(), barrier_cost());
+}
+
+}  // namespace hupc::core

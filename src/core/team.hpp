@@ -1,0 +1,79 @@
+// Thread groups (thesis Chapter 3).
+//
+// A Team is an ordered set of UPC ranks — typically all ranks sharing a
+// hardware domain (node, socket), but arbitrary and *overlapping* groups
+// are allowed (§3.2.1 argues for concurrent exploitation of multiple
+// hierarchies). Teams carry their own barrier and translate between team
+// ranks and global ranks.
+//
+// Teams are plain shared objects: construct them (host-side or on one
+// rank) before use and share by reference, the way the thesis programs
+// hand-code thread groups from topology queries at startup.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "gas/collectives.hpp"
+#include "gas/gas.hpp"
+#include "sim/sim.hpp"
+
+namespace hupc::core {
+
+class Team {
+ public:
+  /// `ranks` must be non-empty, sorted, unique.
+  Team(gas::Runtime& rt, std::vector<int> ranks);
+
+  // --- hardware-driven factories (the topology queries of §3.2.1) -------
+  [[nodiscard]] static Team node_team(gas::Runtime& rt, int node);
+  [[nodiscard]] static Team socket_team(gas::Runtime& rt, int node, int socket);
+  /// One team per node, index = node id.
+  [[nodiscard]] static std::vector<Team> all_node_teams(gas::Runtime& rt);
+
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(ranks_.size());
+  }
+  [[nodiscard]] const std::vector<int>& ranks() const noexcept { return ranks_; }
+  [[nodiscard]] int global_rank(int team_rank) const {
+    return ranks_[static_cast<std::size_t>(team_rank)];
+  }
+  /// Team rank of a global rank, or -1 if not a member.
+  [[nodiscard]] int team_rank(int global) const;
+  [[nodiscard]] bool contains(int global) const { return team_rank(global) >= 0; }
+
+  /// Barrier across team members only; costs scale with the team's span
+  /// (intra-node teams pay no network rounds).
+  [[nodiscard]] sim::Task<void> barrier(gas::Thread& self);
+
+  /// Team-scoped collectives (the GASNet-teams facility of §3.2.1):
+  /// broadcast/reduce/exchange restricted to this team's members, with
+  /// buffers indexed by team rank. Create once, share among members.
+  [[nodiscard]] gas::Collectives make_collectives() const {
+    return gas::Collectives(*rt_, ranks_);
+  }
+
+  /// Pre-cast pointer table (§3.3): raw base pointers of each member's
+  /// slice of `arr`, nullptr where not castable from `self`. Building it
+  /// is free at runtime scale — the expensive mapping happened at startup.
+  template <class T>
+  [[nodiscard]] std::vector<T*> pointer_table(const gas::Thread& self,
+                                              const gas::SharedArray<T>& arr) const {
+    std::vector<T*> table;
+    table.reserve(ranks_.size());
+    for (int r : ranks_) {
+      table.push_back(self.castable(r) ? arr.slice(r) : nullptr);
+    }
+    return table;
+  }
+
+ private:
+  [[nodiscard]] sim::Time barrier_cost() const;
+
+  gas::Runtime* rt_;
+  std::vector<int> ranks_;
+  std::unique_ptr<sim::Barrier> barrier_;
+  bool spans_nodes_;
+};
+
+}  // namespace hupc::core

@@ -1,0 +1,55 @@
+// NAS FT driver — real-data edition.
+//
+// Runs the distributed 3-D FFT for real on the simulated PGAS runtime:
+// slabs live in the shared heap, every exchange moves actual complex
+// values, and the result is bit-comparable against the serial 3-D FFT
+// oracle. Used by the correctness tests and the fft3d_solver example;
+// paper-size classes use FtModel (cost-only) instead.
+//
+// Layouts:
+//   before exchange: rank r owns z-planes [r*Pz, (r+1)*Pz), [z][x][y];
+//   after  exchange: rank r owns x-slabs  [r*Px, (r+1)*Px), [x][z][y].
+// NX and NZ must be divisible by THREADS.
+#pragma once
+
+#include <vector>
+
+#include "fft/ft_model.hpp"
+#include "fft/kernel.hpp"
+#include "gas/gas.hpp"
+#include "sim/sim.hpp"
+
+namespace hupc::fft {
+
+class FtReal {
+ public:
+  FtReal(gas::Runtime& rt, FtParams grid, CommVariant variant);
+
+  /// Deterministically fill rank `r`'s slab (call before run).
+  void fill_input(std::uint64_t seed);
+
+  /// SPMD kernel: forward 3-D FFT of the distributed grid.
+  [[nodiscard]] sim::Task<void> run(gas::Thread& self);
+
+  /// Gather the transformed grid to a dense [z][x][y] array (host-side,
+  /// after run) for comparison with the serial oracle.
+  [[nodiscard]] std::vector<Complex> gather_result() const;
+
+  /// The initial grid as a dense [z][x][y] array (for the oracle).
+  [[nodiscard]] const std::vector<Complex>& initial_grid() const {
+    return initial_;
+  }
+
+ private:
+  gas::Runtime* rt_;
+  FtParams grid_;
+  CommVariant variant_;
+  int pz_, px_;  // planes / x-rows per rank
+  // in_[r]:  rank r's z-slab, [z_local][x][y];
+  // out_[r]: rank r's x-slab after exchange, [x_local][z][y].
+  std::vector<gas::GlobalPtr<Complex>> in_;
+  std::vector<gas::GlobalPtr<Complex>> out_;
+  std::vector<Complex> initial_;
+};
+
+}  // namespace hupc::fft

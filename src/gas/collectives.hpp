@@ -1,0 +1,272 @@
+// Reference UPC-style collectives built from one-sided operations —
+// optionally scoped to a *subset* of ranks (the GASNet-teams extension the
+// thesis §3.2.1 anticipates: "GASNet teams are designed ... to facilitate
+// collective operations on a subset of threads").
+//
+// The thesis FT benchmark implements its all-to-all with point-to-point
+// memory copies because "collective operations are not yet supported on
+// sub-threads" (§4.3.3.1); exchange() here is exactly that pattern, with
+// the classic staggered peer order to avoid hot-spotting one receiver.
+// broadcast() uses a binomial tree over memput with per-member readiness
+// events, giving the O(log N) critical path of a real implementation;
+// reduce() is a flat one-sided gather+combine (used off the critical path).
+//
+// Every collective must be called by all member ranks (SPMD semantics).
+// Matching is by per-member call sequence number, like MPI's ordering rule.
+// Buffer vectors are indexed by *member index* (== global rank for the
+// whole-runtime scope).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "gas/runtime.hpp"
+#include "sim/sim.hpp"
+
+namespace hupc::gas {
+
+namespace detail {
+
+struct CollState {
+  std::vector<std::unique_ptr<sim::Event>> ready;
+  int arrived = 0;
+};
+
+}  // namespace detail
+
+/// Shared coordination space for collectives over a member set.
+class Collectives {
+ public:
+  /// Whole-runtime scope: members are all ranks, member index == rank.
+  explicit Collectives(Runtime& rt) : Collectives(rt, all_ranks(rt)) {}
+
+  /// Team scope: `members` must be sorted, unique, valid ranks.
+  Collectives(Runtime& rt, std::vector<int> members)
+      : rt_(&rt),
+        members_(std::move(members)),
+        seq_(members_.size(), 0),
+        barrier_(std::make_unique<sim::Barrier>(
+            rt.engine(), static_cast<int>(members_.size()))) {
+    if (members_.empty()) {
+      throw std::invalid_argument("Collectives: empty member set");
+    }
+    spans_nodes_ = false;
+    for (int r : members_) {
+      if (rt.node_of(r) != rt.node_of(members_.front())) spans_nodes_ = true;
+    }
+  }
+
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(members_.size());
+  }
+  [[nodiscard]] const std::vector<int>& members() const noexcept {
+    return members_;
+  }
+  /// Member index of a global rank; -1 when not a member.
+  [[nodiscard]] int index_of(int rank) const {
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      if (members_[i] == rank) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  /// Barrier across the member set (cost scales with its hardware span).
+  [[nodiscard]] sim::Task<void> barrier(Thread& self) {
+    (void)self;
+    co_await barrier_->arrive_and_wait();
+    co_await sim::delay(rt_->engine(), barrier_cost());
+  }
+
+  /// All-to-all personalized exchange within the member set: member m's
+  /// `send + p*count` goes to member p's `recv_bases[p] + m*count`. With
+  /// `overlap`, all puts are issued non-blocking and awaited together.
+  template <class T>
+  [[nodiscard]] sim::Task<void> exchange(Thread& self,
+                                         const std::vector<GlobalPtr<T>>& recv_bases,
+                                         const T* send, std::size_t count,
+                                         bool overlap = false) {
+    const int n = size();
+    const int me = require_member(self);
+    if (overlap) {
+      std::vector<sim::Future<>> pending;
+      pending.reserve(static_cast<std::size_t>(n));
+      for (int step = 0; step < n; ++step) {
+        const int peer = (me + step + 1) % n;
+        pending.push_back(self.memput_async(
+            recv_bases[static_cast<std::size_t>(peer)] +
+                static_cast<std::ptrdiff_t>(static_cast<std::size_t>(me) * count),
+            send + static_cast<std::size_t>(peer) * count, count));
+      }
+      for (auto& f : pending) co_await f.wait();
+    } else {
+      for (int step = 0; step < n; ++step) {
+        const int peer = (me + step + 1) % n;
+        co_await self.memput(
+            recv_bases[static_cast<std::size_t>(peer)] +
+                static_cast<std::ptrdiff_t>(static_cast<std::size_t>(me) * count),
+            send + static_cast<std::size_t>(peer) * count, count);
+      }
+    }
+    co_await barrier(self);  // completion: everyone's inbox is full
+  }
+
+  /// Binomial-tree broadcast of `count` elements from member index `root`.
+  /// `bufs[m]` is member m's buffer; the root's holds the payload on entry.
+  template <class T>
+  [[nodiscard]] sim::Task<void> broadcast(Thread& self,
+                                          const std::vector<GlobalPtr<T>>& bufs,
+                                          std::size_t count, int root) {
+    const int n = size();
+    const int me = require_member(self);
+    const int rel = (me - root + n) % n;
+    auto state = enter(me);
+
+    // Locate my receive round (lowest set bit of rel); root skips it.
+    int mask = 1;
+    while (mask < n && (rel & mask) == 0) mask <<= 1;
+    if (rel != 0) {
+      co_await state->ready[static_cast<std::size_t>(me)]->wait();
+    }
+    // Push down the subtree: children at rel + mask/2, mask/4, ..., 1.
+    for (mask >>= 1; mask > 0; mask >>= 1) {
+      const int child_rel = rel + mask;
+      if (child_rel < n) {
+        const int child = (child_rel + root) % n;
+        co_await self.memput(bufs[static_cast<std::size_t>(child)],
+                             bufs[static_cast<std::size_t>(me)].raw, count);
+        state->ready[static_cast<std::size_t>(child)]->trigger();
+      }
+    }
+    co_return;
+  }
+
+  /// Gather-style reduction into member `root`'s buffer with combiner `op`.
+  /// Contract: `bufs[root]` must have room for `count * size()` elements —
+  /// slot (rel * count) stages relative member rel's partial.
+  template <class T, class Op>
+  [[nodiscard]] sim::Task<void> reduce(Thread& self,
+                                       const std::vector<GlobalPtr<T>>& bufs,
+                                       std::size_t count, int root, Op op) {
+    const int n = size();
+    const int me = require_member(self);
+    const int rel = (me - root + n) % n;
+    auto state = enter(me);
+
+    if (rel != 0) {
+      co_await self.memput(
+          bufs[static_cast<std::size_t>(root)] +
+              static_cast<std::ptrdiff_t>(static_cast<std::size_t>(rel) * count),
+          bufs[static_cast<std::size_t>(me)].raw, count);
+      state->ready[static_cast<std::size_t>(me)]->trigger();
+      co_return;
+    }
+    T* mine = bufs[static_cast<std::size_t>(me)].raw;
+    for (int child_rel = 1; child_rel < n; ++child_rel) {
+      const int child = (child_rel + root) % n;
+      co_await state->ready[static_cast<std::size_t>(child)]->wait();
+      const T* staged = mine + static_cast<std::size_t>(child_rel) * count;
+      for (std::size_t i = 0; i < count; ++i) mine[i] = op(mine[i], staged[i]);
+      co_await self.compute(static_cast<double>(count) * 2e-9);
+    }
+    co_return;
+  }
+
+  /// Gather in *relative* member order: member m's `count` elements land in
+  /// `root`'s buffer at slot ((m - root) mod size()) * count — so the
+  /// root's own contribution is slot 0 (its buffer start) and no member
+  /// ever writes over another's slot. Contract: `bufs[root]` has room for
+  /// count * size() elements.
+  template <class T>
+  [[nodiscard]] sim::Task<void> gather(Thread& self,
+                                       const std::vector<GlobalPtr<T>>& bufs,
+                                       std::size_t count, int root) {
+    const int n = size();
+    const int me = require_member(self);
+    const int rel = (me - root + n) % n;
+    auto state = enter(me);
+    if (rel != 0) {
+      co_await self.memput(
+          bufs[static_cast<std::size_t>(root)] +
+              static_cast<std::ptrdiff_t>(static_cast<std::size_t>(rel) * count),
+          bufs[static_cast<std::size_t>(me)].raw, count);
+      state->ready[static_cast<std::size_t>(me)]->trigger();
+      co_return;
+    }
+    for (int m = 0; m < n; ++m) {
+      if (m == root) continue;
+      co_await state->ready[static_cast<std::size_t>(m)]->wait();
+    }
+    co_return;
+  }
+
+  /// Allreduce = reduce to member 0 + broadcast. Contract: every member's
+  /// buffer has room for count * size() elements (member 0's staging).
+  template <class T, class Op>
+  [[nodiscard]] sim::Task<void> allreduce(Thread& self,
+                                          const std::vector<GlobalPtr<T>>& bufs,
+                                          std::size_t count, Op op) {
+    co_await reduce(self, bufs, count, 0, op);
+    co_await broadcast(self, bufs, count, 0);
+  }
+
+ private:
+  static std::vector<int> all_ranks(Runtime& rt) {
+    std::vector<int> ranks(static_cast<std::size_t>(rt.threads()));
+    for (int r = 0; r < rt.threads(); ++r) ranks[static_cast<std::size_t>(r)] = r;
+    return ranks;
+  }
+
+  [[nodiscard]] int require_member(const Thread& self) const {
+    const int idx = index_of(self.rank());
+    if (idx < 0) {
+      throw std::logic_error("Collectives: caller is not a member");
+    }
+    return idx;
+  }
+
+  [[nodiscard]] sim::Time barrier_cost() const {
+    const auto& costs = rt_->config().costs;
+    const int n = size();
+    const int rounds =
+        n <= 1 ? 0 : std::bit_width(static_cast<unsigned>(n - 1));
+    double seconds = costs.barrier_hop_s * rounds;
+    if (spans_nodes_) {
+      const auto& c = rt_->config().conduit;
+      seconds += (c.send_overhead_s + c.latency_s + c.recv_overhead_s) *
+                 (rt_->nodes_used() <= 1
+                      ? 0
+                      : std::bit_width(
+                            static_cast<unsigned>(rt_->nodes_used() - 1)));
+    }
+    return sim::from_seconds(seconds);
+  }
+
+  /// Join collective call #seq for this member; first arrival creates state.
+  std::shared_ptr<detail::CollState> enter(int member) {
+    const std::uint64_t id = seq_[static_cast<std::size_t>(member)]++;
+    auto& slot = states_[id];
+    if (!slot) {
+      slot = std::make_shared<detail::CollState>();
+      slot->ready.reserve(members_.size());
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        slot->ready.push_back(std::make_unique<sim::Event>(rt_->engine()));
+      }
+    }
+    auto state = slot;
+    if (++state->arrived == size()) states_.erase(id);
+    return state;
+  }
+
+  Runtime* rt_;
+  std::vector<int> members_;
+  std::vector<std::uint64_t> seq_;
+  std::unique_ptr<sim::Barrier> barrier_;
+  bool spans_nodes_ = false;
+  std::unordered_map<std::uint64_t, std::shared_ptr<detail::CollState>> states_;
+};
+
+}  // namespace hupc::gas

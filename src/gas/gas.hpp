@@ -1,0 +1,10 @@
+// Umbrella header for the PGAS runtime.
+#pragma once
+
+#include "gas/collectives.hpp"   // IWYU pragma: export
+#include "gas/forall.hpp"        // IWYU pragma: export
+#include "gas/global_ptr.hpp"    // IWYU pragma: export
+#include "gas/global_ptr2d.hpp"  // IWYU pragma: export
+#include "gas/heap.hpp"          // IWYU pragma: export
+#include "gas/lock.hpp"          // IWYU pragma: export
+#include "gas/runtime.hpp"       // IWYU pragma: export

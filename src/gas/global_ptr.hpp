@@ -1,0 +1,107 @@
+// Global pointers and distributed shared arrays.
+//
+// The simulated partitioned global address space is backed by real host
+// memory: every UPC thread owns a segment, and a GlobalPtr<T> carries
+// (owner thread, raw host address). Data movement through the runtime both
+// really copies bytes (so results are verifiable) and charges virtual time.
+//
+// SharedArray<T> mirrors `shared [B] T a[N]` — round-robin distribution of
+// B-element blocks over threads, with per-thread slices living in that
+// thread's segment.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace hupc::gas {
+
+/// Pointer-to-shared: owner rank + host address within the owner's segment.
+template <class T>
+struct GlobalPtr {
+  int owner = -1;
+  T* raw = nullptr;
+
+  [[nodiscard]] bool valid() const noexcept { return raw != nullptr; }
+
+  /// Pointer arithmetic within one thread's contiguous slice. (Crossing
+  /// block boundaries of a SharedArray is done through SharedArray::at,
+  /// which recomputes the owner — matching UPC's phase-aware arithmetic.)
+  [[nodiscard]] GlobalPtr operator+(std::ptrdiff_t n) const noexcept {
+    return GlobalPtr{owner, raw + n};
+  }
+
+  friend bool operator==(const GlobalPtr&, const GlobalPtr&) = default;
+};
+
+template <class T>
+[[nodiscard]] GlobalPtr<const T> to_const(GlobalPtr<T> p) noexcept {
+  return GlobalPtr<const T>{p.owner, p.raw};
+}
+
+/// Distribution descriptor + storage handles for a `shared [B] T a[N]`.
+/// The storage itself is allocated from the runtime's per-thread segments;
+/// this class only performs the UPC layout arithmetic.
+template <class T>
+class SharedArray {
+ public:
+  SharedArray() = default;
+
+  /// `slices[r]` must point to thread r's slice of ceil-distributed blocks.
+  SharedArray(std::size_t size, std::size_t block, std::vector<T*> slices)
+      : size_(size), block_(block), slices_(std::move(slices)) {
+    assert(block_ >= 1);
+    assert(!slices_.empty());
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t block() const noexcept { return block_; }
+  [[nodiscard]] int threads() const noexcept {
+    return static_cast<int>(slices_.size());
+  }
+
+  /// Owner thread of element i: block-cyclic layout.
+  [[nodiscard]] int owner_of(std::size_t i) const noexcept {
+    return static_cast<int>((i / block_) % slices_.size());
+  }
+
+  /// Elements thread r holds (ceil distribution over whole blocks).
+  [[nodiscard]] std::size_t local_size(int r) const noexcept {
+    const std::size_t threads = slices_.size();
+    const std::size_t total_blocks = (size_ + block_ - 1) / block_;
+    const std::size_t ur = static_cast<std::size_t>(r);
+    const std::size_t full = total_blocks / threads;
+    const std::size_t extra = total_blocks % threads;
+    std::size_t blocks = full + (ur < extra ? 1 : 0);
+    std::size_t elems = blocks * block_;
+    // The globally-last block may be partial.
+    if (total_blocks > 0 && ur == (total_blocks - 1) % threads) {
+      const std::size_t tail = size_ % block_;
+      if (tail != 0) elems -= block_ - tail;
+    }
+    return elems;
+  }
+
+  /// Pointer-to-shared for element i.
+  [[nodiscard]] GlobalPtr<T> at(std::size_t i) const noexcept {
+    assert(i < size_);
+    const std::size_t threads = slices_.size();
+    const int owner = owner_of(i);
+    const std::size_t local_block = i / (block_ * threads);
+    const std::size_t offset = local_block * block_ + i % block_;
+    return GlobalPtr<T>{owner, slices_[static_cast<std::size_t>(owner)] + offset};
+  }
+
+  /// Raw base of thread r's slice (the owner may use it directly; others
+  /// must privatize via Thread::cast or communicate).
+  [[nodiscard]] T* slice(int r) const noexcept {
+    return slices_[static_cast<std::size_t>(r)];
+  }
+
+ private:
+  std::size_t size_ = 0;
+  std::size_t block_ = 1;
+  std::vector<T*> slices_;
+};
+
+}  // namespace hupc::gas

@@ -1,0 +1,99 @@
+// Multidimensional blocking: `shared [BR][BC] T a[R][C]` — the tiled
+// distribution of Barton et al. ("Multidimensional blocking in UPC") that
+// the thesis conclusion names as a natural companion to hierarchical
+// parallelism. Tiles of BR x BC elements are dealt round-robin (row-major
+// tile order) over threads; each thread stores its tiles contiguously, so
+// a tile is always privatizable as one dense block — the unit at which
+// thread groups exchange work.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "gas/global_ptr.hpp"
+
+namespace hupc::gas {
+
+template <class T>
+class SharedArray2D {
+ public:
+  SharedArray2D() = default;
+
+  /// `slices[r]`: base of thread r's tile storage, `tiles_of(r)` tiles of
+  /// BR*BC elements each (edge tiles padded to full size).
+  SharedArray2D(std::size_t rows, std::size_t cols, std::size_t block_rows,
+                std::size_t block_cols, std::vector<T*> slices)
+      : rows_(rows),
+        cols_(cols),
+        brows_(block_rows),
+        bcols_(block_cols),
+        slices_(std::move(slices)) {
+    assert(brows_ >= 1 && bcols_ >= 1);
+    assert(!slices_.empty());
+  }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t block_rows() const noexcept { return brows_; }
+  [[nodiscard]] std::size_t block_cols() const noexcept { return bcols_; }
+  [[nodiscard]] int threads() const noexcept {
+    return static_cast<int>(slices_.size());
+  }
+  [[nodiscard]] std::size_t tile_rows() const noexcept {
+    return (rows_ + brows_ - 1) / brows_;
+  }
+  [[nodiscard]] std::size_t tile_cols() const noexcept {
+    return (cols_ + bcols_ - 1) / bcols_;
+  }
+  [[nodiscard]] std::size_t tile_elems() const noexcept {
+    return brows_ * bcols_;
+  }
+
+  /// Linear id of the tile containing (i, j); row-major tile order.
+  [[nodiscard]] std::size_t tile_id(std::size_t i, std::size_t j) const {
+    assert(i < rows_ && j < cols_);
+    return (i / brows_) * tile_cols() + (j / bcols_);
+  }
+
+  [[nodiscard]] int owner_of(std::size_t i, std::size_t j) const {
+    return static_cast<int>(tile_id(i, j) % slices_.size());
+  }
+
+  /// Tiles thread r holds (ceil distribution).
+  [[nodiscard]] std::size_t tiles_of(int r) const {
+    const std::size_t total = tile_rows() * tile_cols();
+    const auto t = static_cast<std::size_t>(threads());
+    return total / t + (static_cast<std::size_t>(r) < total % t ? 1 : 0);
+  }
+
+  /// Pointer-to-shared for element (i, j).
+  [[nodiscard]] GlobalPtr<T> at(std::size_t i, std::size_t j) const {
+    const std::size_t id = tile_id(i, j);
+    const int owner = static_cast<int>(id % slices_.size());
+    const std::size_t slot = id / slices_.size();
+    const std::size_t offset =
+        slot * tile_elems() + (i % brows_) * bcols_ + (j % bcols_);
+    return GlobalPtr<T>{owner, slices_[static_cast<std::size_t>(owner)] + offset};
+  }
+
+  /// Base of the dense tile containing (i, j) — the privatization unit.
+  [[nodiscard]] GlobalPtr<T> tile_base(std::size_t i, std::size_t j) const {
+    const std::size_t id = tile_id(i, j);
+    const int owner = static_cast<int>(id % slices_.size());
+    const std::size_t slot = id / slices_.size();
+    return GlobalPtr<T>{owner,
+                        slices_[static_cast<std::size_t>(owner)] + slot * tile_elems()};
+  }
+
+  [[nodiscard]] T* slice(int r) const noexcept {
+    return slices_[static_cast<std::size_t>(r)];
+  }
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::size_t brows_ = 1, bcols_ = 1;
+  std::vector<T*> slices_;
+};
+
+}  // namespace hupc::gas

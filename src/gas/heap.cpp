@@ -1,0 +1,44 @@
+#include "gas/heap.hpp"
+
+#include <cassert>
+
+namespace hupc::gas {
+
+Segment::Segment(std::size_t chunk_bytes) : chunk_bytes_(chunk_bytes) {}
+
+void* Segment::allocate(std::size_t bytes, std::size_t align) {
+  assert(align != 0 && (align & (align - 1)) == 0);
+  if (bytes == 0) bytes = 1;
+  allocated_ += bytes;
+
+  auto try_fit = [&](Chunk& c) -> void* {
+    auto base = reinterpret_cast<std::uintptr_t>(c.data.get());
+    const std::uintptr_t aligned = (base + c.used + align - 1) & ~(align - 1);
+    const std::size_t end = static_cast<std::size_t>(aligned - base) + bytes;
+    if (end <= c.size) {
+      c.used = end;
+      return reinterpret_cast<void*>(aligned);
+    }
+    return nullptr;
+  };
+
+  if (!chunks_.empty()) {
+    if (void* p = try_fit(chunks_.back())) return p;
+  }
+  const std::size_t size = bytes + align > chunk_bytes_ ? bytes + align
+                                                        : chunk_bytes_;
+  chunks_.push_back(Chunk{std::make_unique<std::byte[]>(size), size, 0});
+  void* p = try_fit(chunks_.back());
+  assert(p != nullptr);
+  return p;
+}
+
+SharedHeap::SharedHeap(int threads) {
+  assert(threads >= 1);
+  segments_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    segments_.push_back(std::make_unique<Segment>());
+  }
+}
+
+}  // namespace hupc::gas

@@ -1,0 +1,103 @@
+// Per-thread shared-segment allocator.
+//
+// Each UPC thread owns one segment (a growable arena of real host memory).
+// Allocation is bump-pointer with alignment; segments are stable in memory
+// (deque of fixed chunks) so raw pointers never invalidate — a property the
+// whole GlobalPtr design depends on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "gas/global_ptr.hpp"
+#include "gas/global_ptr2d.hpp"
+
+namespace hupc::gas {
+
+class Segment {
+ public:
+  explicit Segment(std::size_t chunk_bytes = kDefaultChunk);
+
+  /// Allocate `bytes` with `align` (power of two). Never returns nullptr.
+  [[nodiscard]] void* allocate(std::size_t bytes, std::size_t align);
+
+  [[nodiscard]] std::size_t bytes_allocated() const noexcept {
+    return allocated_;
+  }
+
+  static constexpr std::size_t kDefaultChunk = 8u << 20;  // 8 MiB
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size;
+    std::size_t used;
+  };
+  std::size_t chunk_bytes_;
+  std::size_t allocated_ = 0;
+  std::deque<Chunk> chunks_;
+};
+
+/// The whole partitioned heap: one Segment per UPC thread.
+class SharedHeap {
+ public:
+  explicit SharedHeap(int threads);
+
+  [[nodiscard]] int threads() const noexcept {
+    return static_cast<int>(segments_.size());
+  }
+
+  /// upc_alloc analogue: `count` Ts with affinity to thread `owner`.
+  template <class T>
+  [[nodiscard]] GlobalPtr<T> alloc(int owner, std::size_t count) {
+    auto* p = static_cast<T*>(segment(owner).allocate(
+        count * sizeof(T), alignof(T) < 8 ? 8 : alignof(T)));
+    return GlobalPtr<T>{owner, p};
+  }
+
+  /// upc_all_alloc analogue for `shared [B] T a[N]`: every thread's blocks
+  /// are carved from its own segment; returns the layout descriptor.
+  template <class T>
+  [[nodiscard]] SharedArray<T> all_alloc(std::size_t size, std::size_t block) {
+    std::vector<T*> slices;
+    slices.reserve(segments_.size());
+    SharedArray<T> probe(size, block,
+                         std::vector<T*>(segments_.size(), nullptr));
+    for (int r = 0; r < threads(); ++r) {
+      const std::size_t n = probe.local_size(r);
+      slices.push_back(n == 0 ? nullptr : alloc<T>(r, n).raw);
+    }
+    return SharedArray<T>(size, block, std::move(slices));
+  }
+
+  /// 2-D tiled allocation: `shared [BR][BC] T a[R][C]` (multidimensional
+  /// blocking). Edge tiles are padded to full BR*BC size.
+  template <class T>
+  [[nodiscard]] SharedArray2D<T> all_alloc_2d(std::size_t rows,
+                                              std::size_t cols,
+                                              std::size_t block_rows,
+                                              std::size_t block_cols) {
+    SharedArray2D<T> probe(rows, cols, block_rows, block_cols,
+                           std::vector<T*>(segments_.size(), nullptr));
+    std::vector<T*> slices;
+    slices.reserve(segments_.size());
+    for (int r = 0; r < threads(); ++r) {
+      const std::size_t n = probe.tiles_of(r) * probe.tile_elems();
+      slices.push_back(n == 0 ? nullptr : alloc<T>(r, n).raw);
+    }
+    return SharedArray2D<T>(rows, cols, block_rows, block_cols,
+                            std::move(slices));
+  }
+
+  [[nodiscard]] Segment& segment(int owner) {
+    return *segments_[static_cast<std::size_t>(owner)];
+  }
+
+ private:
+  std::vector<std::unique_ptr<Segment>> segments_;
+};
+
+}  // namespace hupc::gas

@@ -1,0 +1,64 @@
+// upc_lock_t analogue: a global lock with affinity to one rank.
+//
+// Acquisition cost depends on where the caller sits relative to the lock's
+// home: a supernode-local acquire is an atomic op (~lock_local_s); a remote
+// acquire costs a small-message network round trip. This asymmetry is what
+// makes the UTS local-stealing optimization pay off (thesis §3.3.2).
+#pragma once
+
+#include "gas/runtime.hpp"
+#include "sim/sim.hpp"
+
+namespace hupc::gas {
+
+class GlobalLock {
+ public:
+  GlobalLock(Runtime& rt, int affinity_rank)
+      : rt_(&rt), home_(affinity_rank), mutex_(rt.engine()) {}
+
+  [[nodiscard]] int home() const noexcept { return home_; }
+
+  /// upc_lock: pay the access cost, then queue FIFO on the lock.
+  [[nodiscard]] sim::Task<void> acquire(Thread& self) {
+    co_await access_cost(self);
+    co_await mutex_.lock();
+  }
+
+  /// upc_lock_attempt: non-blocking; pays the access cost either way.
+  [[nodiscard]] sim::Task<bool> try_acquire(Thread& self) {
+    co_await access_cost(self);
+    co_return mutex_.try_lock();
+  }
+
+  /// upc_unlock. The release message to a remote home is fire-and-forget.
+  [[nodiscard]] sim::Task<void> release(Thread& self) {
+    co_await sim::delay(self.runtime().engine(),
+                        sim::from_seconds(rt_->config().costs.lock_local_s));
+    mutex_.unlock();
+  }
+
+ private:
+  [[nodiscard]] sim::Task<void> access_cost(Thread& self) {
+    if (rt_->same_supernode(self.rank(), home_)) {
+      co_await sim::delay(rt_->engine(),
+                          sim::from_seconds(rt_->config().costs.lock_local_s));
+    } else if (rt_->node_of(self.rank()) == rt_->node_of(home_)) {
+      co_await sim::delay(
+          rt_->engine(),
+          sim::from_seconds(rt_->config().costs.loopback_overhead_s));
+    } else {
+      // Remote atomic: request + acknowledgement round trip.
+      const auto& c = rt_->config().conduit;
+      co_await sim::delay(
+          rt_->engine(),
+          sim::from_seconds(2.0 * (c.send_overhead_s + c.latency_s +
+                                   c.recv_overhead_s)));
+    }
+  }
+
+  Runtime* rt_;
+  int home_;
+  sim::Mutex mutex_;
+};
+
+}  // namespace hupc::gas

@@ -1,0 +1,225 @@
+#include "gas/runtime.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace hupc::gas {
+
+namespace {
+
+int ceil_log2(int n) {
+  if (n <= 1) return 0;
+  return std::bit_width(static_cast<unsigned>(n - 1));
+}
+
+net::ConnectionMode connection_mode(Backend backend) {
+  return backend == Backend::processes ? net::ConnectionMode::per_process
+                                       : net::ConnectionMode::per_node;
+}
+
+net::ConduitSpec effective_conduit(const Config& config, int ranks_per_node) {
+  net::ConduitSpec conduit = config.conduit;
+  double eff = config.nic_efficiency;
+  if (eff <= 0.0) {
+    // Independently polling endpoints erode the achievable NIC bandwidth
+    // (thesis §4.3.1 "contention in the lower network API level").
+    // Separate processes each own connections and driver state (strong
+    // contention); pthreads share one connection and runtime, contending
+    // only on internal locks (weak contention).
+    const double coeff = config.backend == Backend::processes ? 0.025 : 0.010;
+    eff = 1.0 / (1.0 + coeff * std::max(0, ranks_per_node - 1));
+  }
+  conduit.nic_bw *= eff;
+  return conduit;
+}
+
+}  // namespace
+
+Runtime::Runtime(sim::Engine& engine, Config config)
+    : engine_(&engine),
+      config_(std::move(config)),
+      placement_(topo::place_ranks(config_.machine, config_.threads,
+                                   config_.placement)),
+      ranks_per_node_((config_.threads + config_.machine.nodes - 1) /
+                      config_.machine.nodes),
+      nodes_used_((config_.threads + ranks_per_node_ - 1) / ranks_per_node_),
+      slots_(config_.machine),
+      memory_(engine, config_.machine),
+      network_(engine, config_.machine,
+               effective_conduit(config_, ranks_per_node_),
+               connection_mode(config_.backend), ranks_per_node_),
+      heap_(config_.threads),
+      barrier_(engine, config_.threads) {
+  if (config_.threads < 1) {
+    throw std::invalid_argument("Runtime: threads must be >= 1");
+  }
+  threads_.reserve(static_cast<std::size_t>(config_.threads));
+  for (int r = 0; r < config_.threads; ++r) {
+    slots_.bind(placement_[static_cast<std::size_t>(r)]);
+    threads_.push_back(std::make_unique<Thread>(
+        *this, r, placement_[static_cast<std::size_t>(r)]));
+  }
+}
+
+void Runtime::spmd(Kernel kernel) {
+  if (launched_) {
+    throw std::logic_error("Runtime::spmd: already launched");
+  }
+  launched_ = true;
+  kernel_ = std::move(kernel);
+  procs_.reserve(threads_.size());
+  for (auto& t : threads_) {
+    procs_.push_back(sim::spawn(*engine_, kernel_(*t)));
+  }
+}
+
+void Runtime::run_to_completion() {
+  engine_->run();
+  // A rank that died with an exception strands its peers at barriers —
+  // surface the root cause, not the symptom.
+  for (auto& p : procs_) {
+    if (p.failed()) p.rethrow();
+  }
+  for (auto& p : procs_) {
+    if (!p.done()) {
+      throw std::logic_error(
+          "Runtime: a rank did not finish (deadlocked barrier or lock?)");
+    }
+  }
+}
+
+bool Runtime::same_supernode(int a, int b) const {
+  if (a == b) return true;
+  if (node_of(a) != node_of(b)) return false;
+  return config_.backend == Backend::pthreads || config_.pshm;
+}
+
+sim::Time Runtime::barrier_cost() const {
+  const double intra =
+      config_.costs.barrier_hop_s * ceil_log2(ranks_per_node_);
+  double inter = 0.0;
+  if (nodes_used_ > 1) {
+    const auto& c = config_.conduit;
+    inter = (c.send_overhead_s + c.latency_s + c.recv_overhead_s) *
+            ceil_log2(nodes_used_);
+  }
+  return sim::from_seconds(intra + inter);
+}
+
+int Thread::threads() const noexcept { return rt_->threads(); }
+
+sim::Task<void> Thread::barrier() {
+  co_await rt_->barrier_.arrive_and_wait();
+  co_await sim::delay(rt_->engine(), rt_->barrier_cost());
+}
+
+std::uint64_t Thread::notify() {
+  const std::uint64_t token = rt_->barrier_.phase();
+  rt_->barrier_.notify();
+  return token;
+}
+
+sim::Task<void> Thread::wait(std::uint64_t token) {
+  co_await rt_->barrier_.wait_phase(token);
+  co_await sim::delay(rt_->engine(), rt_->barrier_cost());
+}
+
+sim::Task<void> Thread::compute(double single_thread_seconds) {
+  co_await rt_->memory().compute(rt_->slots(), loc_, single_thread_seconds);
+}
+
+sim::Task<void> Thread::compute_flops(double flops, double efficiency) {
+  co_await rt_->memory().compute_flops(rt_->slots(), loc_, flops, efficiency);
+}
+
+sim::Task<void> Thread::stream_local(double bytes) {
+  co_await rt_->memory().stream(loc_, loc_, bytes);
+}
+
+sim::Task<void> Thread::stream_from(int home_rank, double bytes) {
+  const topo::HwLoc home = rt_->loc_of(home_rank);
+  if (home.node == loc_.node) {
+    co_await rt_->memory().stream(loc_, home, bytes);
+  } else {
+    // Cross-node bulk pull: the data leg flows home -> here.
+    co_await rt_->network().rma(home.node, home_rank % rt_->ranks_per_node(),
+                                loc_.node, bytes);
+  }
+}
+
+sim::Task<void> Thread::shared_loop(int home_rank, std::uint64_t count,
+                                    double bytes_each, bool privatized) {
+  // CPU side: the translation overhead is serial work on this core.
+  if (!privatized) {
+    const double cpu = static_cast<double>(count) * rt_->config().costs.ptr_overhead_s;
+    co_await compute(cpu);
+  }
+  // Memory side: the touched bytes flow through the home socket's pool.
+  const topo::HwLoc home = rt_->loc_of(home_rank);
+  assert(home.node == loc_.node &&
+         "shared_loop models intra-node fine-grained loops; remote "
+         "fine-grained access should use get/put per element");
+  co_await rt_->memory().stream(loc_, home,
+                                static_cast<double>(count) * bytes_each);
+}
+
+bool Thread::castable(int owner) const { return rt_->same_supernode(rank_, owner); }
+
+sim::Future<> Thread::start_async(sim::Task<void> op) {
+  return sim::start(rt_->engine(), std::move(op));
+}
+
+sim::Task<void> Thread::element_access(int owner, std::size_t bytes) {
+  // Translation overhead always applies to un-cast shared accesses.
+  co_await compute(rt_->config().costs.ptr_overhead_s);
+  const topo::HwLoc home = rt_->loc_of(owner);
+  if (home.node == loc_.node) {
+    co_await rt_->memory().access(loc_, home, 1, static_cast<double>(bytes));
+  } else {
+    // Remote element access: a small network message each way bounds it.
+    co_await rt_->network().rma(loc_.node, rank_ % rt_->ranks_per_node(),
+                                home.node, static_cast<double>(bytes));
+  }
+}
+
+sim::Task<void> Thread::copy_raw_from(topo::HwLoc at, int peer, void* dst,
+                                      const void* src, std::size_t bytes) {
+  if (dst != nullptr && src != nullptr && bytes > 0) {
+    std::memcpy(dst, src, bytes);  // the real data moves unconditionally
+  }
+  if (bytes == 0) co_return;
+  const double b = static_cast<double>(bytes);
+  const topo::HwLoc peer_loc = rt_->loc_of(peer);
+  const auto& costs = rt_->config().costs;
+
+  if (peer == rank_ || rt_->same_supernode(rank_, peer)) {
+    // Plain load/store path: per-call software overhead + both memory
+    // systems carry the bytes (read side and write side).
+    co_await sim::delay(rt_->engine(),
+                        sim::from_seconds(costs.shm_copy_overhead_s));
+    auto read_leg = rt_->memory().stream_async(at, at, b);
+    auto write_leg = rt_->memory().stream_async(at, peer_loc, b);
+    co_await read_leg.wait();
+    co_await write_leg.wait();
+  } else if (peer_loc.node == at.node) {
+    // Same node, segments not cross-mapped: the GASNet loopback channel —
+    // through the network stack (contending with real traffic) and with
+    // TWICE the memory traffic of a direct copy (bounce-buffer staging on
+    // both sides). PSHM's whole point is eliminating this.
+    co_await sim::delay(rt_->engine(),
+                        sim::from_seconds(costs.loopback_overhead_s));
+    auto src_mem = rt_->memory().stream_async(at, at, 2.0 * b);
+    auto dst_mem = rt_->memory().stream_async(at, peer_loc, 2.0 * b);
+    co_await rt_->network().loopback(at.node, rank_ % rt_->ranks_per_node(), b,
+                                     costs.loopback_bw);
+    co_await src_mem.wait();
+    co_await dst_mem.wait();
+  } else {
+    co_await rt_->network().rma(at.node, rank_ % rt_->ranks_per_node(),
+                                peer_loc.node, b);
+  }
+}
+
+}  // namespace hupc::gas

@@ -1,0 +1,287 @@
+// The simulated UPC runtime: SPMD threads over a partitioned global address
+// space, with the Berkeley-UPC-style backend split the thesis studies:
+//
+//   Backend::processes — each UPC thread is its own process; intra-node
+//     shared memory only exists when PSHM cross-maps segments; each rank
+//     owns a network connection (ConnectionMode::per_process).
+//   Backend::pthreads  — all ranks of a node live in one process; intra-node
+//     accesses are plain loads/stores and the node's ranks share a single
+//     network connection (ConnectionMode::per_node).
+//
+// Every data-movement call really copies host memory *and* charges virtual
+// time through the mem/net cost models. Fine-grained shared accesses pay
+// the shared-pointer translation overhead unless privatized (Thread::cast),
+// reproducing the castability extension of thesis §3.2/§3.3.1.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "gas/global_ptr.hpp"
+#include "gas/heap.hpp"
+#include "mem/memory_system.hpp"
+#include "net/conduit.hpp"
+#include "net/network.hpp"
+#include "sim/sim.hpp"
+#include "topo/machine.hpp"
+#include "topo/placement.hpp"
+
+namespace hupc::gas {
+
+enum class Backend { processes, pthreads };
+
+/// Software-cost constants (calibration targets in DESIGN.md §6).
+struct CostParams {
+  /// Shared-pointer translation per fine-grained access (runtime call +
+  /// address arithmetic; fitted to Table 3.1 baseline = 3.2 GB/s).
+  double ptr_overhead_s = 52e-9;
+  /// Per-call software cost of a supernode (PSHM/pthreads) bulk copy.
+  double shm_copy_overhead_s = 0.25e-6;
+  /// Intra-node path when segments are NOT cross-mapped (process backend
+  /// without PSHM): the GASNet loopback channel. Bulk puts fragment into
+  /// ~4 KiB AM mediums, each paying a handler dispatch (~25 us), so the
+  /// effective rate is ~0.15 GB/s — the overhead PSHM exists to remove
+  /// (fitted to Fig 3.4a's 20%+ improvements on a 4-node exchange).
+  double loopback_bw = 0.15e9;
+  double loopback_overhead_s = 1.2e-6;
+  /// Dissemination-barrier per-round cost inside a node.
+  double barrier_hop_s = 0.3e-6;
+  /// Local lock acquire/release software cost.
+  double lock_local_s = 0.15e-6;
+};
+
+struct Config {
+  topo::MachineSpec machine;
+  int threads = 0;  // THREADS; must be >= 1
+  Backend backend = Backend::processes;
+  bool pshm = true;
+  net::ConduitSpec conduit = net::ib_qdr();
+  topo::Placement placement = topo::Placement::cyclic_socket;
+  CostParams costs{};
+  /// Effective NIC efficiency. <= 0 selects the model: independently
+  /// polling connection endpoints degrade the achievable NIC bandwidth,
+  ///   eff = 1 / (1 + 0.025 * max(0, connections_per_node - 1)),
+  /// the "contention in the lower network API level" of thesis §4.3.1.
+  /// A tuned communication library that manages the node's endpoints
+  /// cooperatively (the MPI baseline) overrides this with 1.0.
+  double nic_efficiency = 0.0;
+};
+
+class Runtime;
+
+/// Per-rank SPMD context handed to kernels: MYTHREAD-style identity plus
+/// the UPC operation set. All operations are coroutines charging virtual
+/// time; `co_await` each one.
+class Thread {
+ public:
+  Thread(Runtime& rt, int rank, topo::HwLoc loc)
+      : rt_(&rt), rank_(rank), loc_(loc) {}
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int threads() const noexcept;
+  [[nodiscard]] topo::HwLoc loc() const noexcept { return loc_; }
+  [[nodiscard]] int node() const noexcept { return loc_.node; }
+  [[nodiscard]] Runtime& runtime() noexcept { return *rt_; }
+
+  // --- synchronization -------------------------------------------------
+  [[nodiscard]] sim::Task<void> barrier();
+  /// Split-phase barrier: capture the token from notify(), overlap work,
+  /// then co_await wait(token).
+  [[nodiscard]] std::uint64_t notify();
+  [[nodiscard]] sim::Task<void> wait(std::uint64_t token);
+
+  // --- local compute / memory charges ----------------------------------
+  [[nodiscard]] sim::Task<void> compute(double single_thread_seconds);
+  [[nodiscard]] sim::Task<void> compute_flops(double flops, double efficiency);
+  /// Bulk memory traffic against this thread's own socket.
+  [[nodiscard]] sim::Task<void> stream_local(double bytes);
+  /// Bulk memory traffic against the socket that homes `home_rank`'s data.
+  [[nodiscard]] sim::Task<void> stream_from(int home_rank, double bytes);
+
+  /// Analytic model of a fine-grained loop making `count` shared accesses
+  /// of `bytes_each` homed at `home_rank`: pays the pointer-translation
+  /// overhead per access unless `privatized` (cast pointers, thesis §3.3.1).
+  [[nodiscard]] sim::Task<void> shared_loop(int home_rank, std::uint64_t count,
+                                            double bytes_each,
+                                            bool privatized = false);
+
+  // --- fine-grained element access (really reads/writes memory) --------
+  template <class T>
+  [[nodiscard]] sim::Task<T> get(GlobalPtr<const T> src) {
+    co_await element_access(src.owner, sizeof(T));
+    co_return *src.raw;
+  }
+  template <class T>
+  [[nodiscard]] sim::Task<T> get(GlobalPtr<T> src) {
+    co_return co_await get(to_const(src));
+  }
+  template <class T>
+  [[nodiscard]] sim::Task<void> put(GlobalPtr<T> dst, T value) {
+    co_await element_access(dst.owner, sizeof(T));
+    *dst.raw = value;
+  }
+
+  // --- atomics (the bupc AMO extensions) --------------------------------
+  /// Atomic fetch-and-add on a shared integer; costs one shared access
+  /// (remote AMOs are a network round trip, like locks).
+  template <class T>
+  [[nodiscard]] sim::Task<T> fetch_add(GlobalPtr<T> target, T delta) {
+    co_await element_access(target.owner, sizeof(T));
+    const T old = *target.raw;
+    *target.raw = old + delta;
+    co_return old;
+  }
+  template <class T>
+  [[nodiscard]] sim::Task<T> fetch_xor(GlobalPtr<T> target, T mask) {
+    co_await element_access(target.owner, sizeof(T));
+    const T old = *target.raw;
+    *target.raw = old ^ mask;
+    co_return old;
+  }
+  /// Atomic compare-and-swap; returns the previous value.
+  template <class T>
+  [[nodiscard]] sim::Task<T> compare_swap(GlobalPtr<T> target, T expected,
+                                          T desired) {
+    co_await element_access(target.owner, sizeof(T));
+    const T old = *target.raw;
+    if (old == expected) *target.raw = desired;
+    co_return old;
+  }
+
+  // --- bulk copies (upc_mem{put,get,cpy} analogues) ---------------------
+  template <class T>
+  [[nodiscard]] sim::Task<void> memput(GlobalPtr<T> dst, const T* src,
+                                       std::size_t count) {
+    co_await copy_raw(dst.owner, dst.raw, src, count * sizeof(T));
+  }
+  template <class T>
+  [[nodiscard]] sim::Task<void> memget(T* dst, GlobalPtr<const T> src,
+                                       std::size_t count) {
+    co_await copy_raw(src.owner, dst, src.raw, count * sizeof(T));
+  }
+  template <class T>
+  [[nodiscard]] sim::Task<void> memget(T* dst, GlobalPtr<T> src,
+                                       std::size_t count) {
+    co_await memget(dst, to_const(src), count);
+  }
+  /// Shared-to-shared copy (upc_memcpy): charged against the remote party.
+  template <class T>
+  [[nodiscard]] sim::Task<void> memcpy_shared(GlobalPtr<T> dst,
+                                              GlobalPtr<const T> src,
+                                              std::size_t count) {
+    const int peer = dst.owner == rank_ ? src.owner : dst.owner;
+    co_await copy_raw(peer, dst.raw, src.raw, count * sizeof(T));
+  }
+
+  // Non-blocking forms returning futures (upc_memput_async / waitsync).
+  template <class T>
+  [[nodiscard]] sim::Future<> memput_async(GlobalPtr<T> dst, const T* src,
+                                           std::size_t count) {
+    return start_async(memput(dst, src, count));
+  }
+  template <class T>
+  [[nodiscard]] sim::Future<> memget_async(T* dst, GlobalPtr<const T> src,
+                                           std::size_t count) {
+    return start_async(memget(dst, src, count));
+  }
+
+  // --- privatization (bupc_cast / castability extension) ---------------
+  /// Returns the raw pointer when `p` is addressable with plain loads and
+  /// stores from this thread (same supernode), else nullptr.
+  template <class T>
+  [[nodiscard]] T* cast(GlobalPtr<T> p) const {
+    return castable(p.owner) ? p.raw : nullptr;
+  }
+  [[nodiscard]] bool castable(int owner) const;
+
+  /// Cost of reading one word of another thread's shared metadata (e.g. a
+  /// steal-stack's work counter) without moving payload.
+  [[nodiscard]] sim::Task<void> shared_probe_cost(int owner) {
+    return element_access(owner, sizeof(std::uint64_t));
+  }
+
+  // Plumbing shared with the sub-thread layer (hupc::core).
+  [[nodiscard]] sim::Task<void> copy_raw(int peer, void* dst, const void* src,
+                                         std::size_t bytes) {
+    return copy_raw_from(loc_, peer, dst, src, bytes);
+  }
+  [[nodiscard]] sim::Task<void> copy_raw_from(topo::HwLoc at, int peer,
+                                              void* dst, const void* src,
+                                              std::size_t bytes);
+  [[nodiscard]] sim::Future<> start_async(sim::Task<void> op);
+
+ private:
+  [[nodiscard]] sim::Task<void> element_access(int owner, std::size_t bytes);
+
+  Runtime* rt_;
+  int rank_;
+  topo::HwLoc loc_;
+};
+
+class Runtime {
+ public:
+  using Kernel = std::function<sim::Task<void>(Thread&)>;
+
+  Runtime(sim::Engine& engine, Config config);
+
+  /// Launch `kernel` on every rank (SPMD). May be called once per Runtime.
+  /// The Runtime keeps the kernel (and thus any lambda captures) alive for
+  /// its own lifetime — coroutine bodies reference the closure object, so
+  /// capturing lambdas are safe here (unlike bare coroutine lambdas).
+  void spmd(Kernel kernel);
+
+  /// Drive the engine until all ranks finish; rethrows the first failure.
+  void run_to_completion();
+
+  // --- identity / topology ---------------------------------------------
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+  [[nodiscard]] int threads() const noexcept { return config_.threads; }
+  [[nodiscard]] int ranks_per_node() const noexcept { return ranks_per_node_; }
+  [[nodiscard]] int nodes_used() const noexcept { return nodes_used_; }
+  [[nodiscard]] topo::HwLoc loc_of(int rank) const {
+    return placement_[static_cast<std::size_t>(rank)];
+  }
+  [[nodiscard]] int node_of(int rank) const { return loc_of(rank).node; }
+  /// True when `a` and `b` share load/store access to each other's
+  /// segments (same process under pthreads, or PSHM-mapped same node).
+  [[nodiscard]] bool same_supernode(int a, int b) const;
+
+  // --- subsystems --------------------------------------------------------
+  [[nodiscard]] sim::Engine& engine() noexcept { return *engine_; }
+  [[nodiscard]] SharedHeap& heap() noexcept { return heap_; }
+  [[nodiscard]] mem::MemorySystem& memory() noexcept { return memory_; }
+  [[nodiscard]] net::Network& network() noexcept { return network_; }
+  [[nodiscard]] topo::SlotAllocator& slots() noexcept { return slots_; }
+  [[nodiscard]] sim::Barrier& global_barrier() noexcept { return barrier_; }
+  [[nodiscard]] Thread& thread(int rank) {
+    return *threads_[static_cast<std::size_t>(rank)];
+  }
+
+  /// Virtual-time cost of one full barrier for the current configuration
+  /// (dissemination rounds intra-node + inter-node).
+  [[nodiscard]] sim::Time barrier_cost() const;
+
+ private:
+  friend class Thread;
+
+  sim::Engine* engine_;
+  Config config_;
+  std::vector<topo::HwLoc> placement_;
+  int ranks_per_node_;
+  int nodes_used_;
+  topo::SlotAllocator slots_;
+  mem::MemorySystem memory_;
+  net::Network network_;
+  SharedHeap heap_;
+  sim::Barrier barrier_;
+  std::vector<std::unique_ptr<Thread>> threads_;
+  std::vector<sim::Process> procs_;
+  Kernel kernel_;  // owns the closure the rank coroutines execute in
+  bool launched_ = false;
+};
+
+}  // namespace hupc::gas

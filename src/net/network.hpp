@@ -1,0 +1,86 @@
+// The simulated cluster interconnect.
+//
+// Owns one NIC fluid link per node plus one injection FIFO per connection
+// (connection granularity chosen by ConnectionMode). rma() performs a
+// one-sided bulk transfer and completes when the payload is remotely
+// delivered; rma_async() is its non-blocking form.
+//
+// Counters record message/byte volumes per endpoint so benches can report
+// messaging rates and verify communication schedules.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/conduit.hpp"
+#include "sim/engine.hpp"
+#include "sim/process.hpp"
+#include "sim/resource.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+#include "topo/machine.hpp"
+
+namespace hupc::net {
+
+class Network {
+ public:
+  struct Counters {
+    std::uint64_t messages = 0;
+    double bytes = 0.0;
+  };
+
+  /// `endpoints_per_node` — how many distinct endpoints (UPC ranks) may
+  /// issue traffic per node; defines connection count in per_process mode.
+  Network(sim::Engine& engine, const topo::MachineSpec& machine,
+          ConduitSpec conduit, ConnectionMode mode, int endpoints_per_node);
+
+  /// One-sided transfer of `bytes` from endpoint `src_ep` (node-local
+  /// index) on `src_node` to `dst_node`. Completes at remote delivery.
+  /// `api_scale` scales the per-message shared-API service cost — tuned
+  /// collective engines batch doorbells/completions and pay a fraction of
+  /// the per-message cost independent endpoints do.
+  [[nodiscard]] sim::Task<void> rma(int src_node, int src_ep, int dst_node,
+                                    double bytes, double api_scale = 1.0);
+
+  [[nodiscard]] sim::Future<> rma_async(int src_node, int src_ep, int dst_node,
+                                        double bytes, double api_scale = 1.0);
+
+  /// Intra-node transfer through the network stack (the no-PSHM loopback
+  /// path): pays API, injection and endpoint-pipeline costs like a real
+  /// message — contending with genuine network traffic — but moves at
+  /// `loopback_bw` instead of crossing the wire. This contention is what
+  /// PSHM eliminates (thesis §3.1, Fig 3.4).
+  [[nodiscard]] sim::Task<void> loopback(int node, int src_ep, double bytes,
+                                         double loopback_bw);
+
+  [[nodiscard]] const ConduitSpec& conduit() const noexcept { return conduit_; }
+  [[nodiscard]] ConnectionMode mode() const noexcept { return mode_; }
+  [[nodiscard]] const Counters& node_counters(int node) const {
+    return counters_[static_cast<std::size_t>(node)];
+  }
+  [[nodiscard]] std::uint64_t total_messages() const noexcept;
+  [[nodiscard]] double total_bytes() const noexcept;
+
+  [[nodiscard]] sim::FluidLink& nic(int node) {
+    return *nics_[static_cast<std::size_t>(node)];
+  }
+
+ private:
+  [[nodiscard]] sim::Mutex& connection(int node, int endpoint);
+
+  sim::Engine* engine_;
+  ConduitSpec conduit_;
+  ConnectionMode mode_;
+  int endpoints_per_node_;
+  std::vector<std::unique_ptr<sim::FluidLink>> nics_;
+  std::vector<std::unique_ptr<sim::Mutex>> connections_;
+  // One per logical endpoint: a thread's wire transfers pipeline serially
+  // at conn_bw (a single thread cannot saturate the NIC — the 1-link
+  // ceiling of Fig 4.2b and the 2-threads-per-node knee of Fig 4.4).
+  std::vector<std::unique_ptr<sim::Mutex>> endpoints_;
+  std::vector<std::unique_ptr<sim::FifoServer>> api_queues_;  // per node
+  std::vector<Counters> counters_;
+};
+
+}  // namespace hupc::net

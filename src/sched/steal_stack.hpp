@@ -1,0 +1,118 @@
+// The UTS steal-stack (thesis §3.3.2): a per-thread work deque living in
+// that thread's shared space. The owner works depth-first on a private
+// portion (lock-free pushes/pops at the top); surplus work is released to a
+// lock-protected shared portion, from which thieves steal the oldest items
+// (closest to the root — the largest subtrees).
+//
+// All remote interactions charge realistic costs: the lock is a
+// gas::GlobalLock (cheap within the supernode, an RTT across nodes) and the
+// stolen payload moves via the runtime copy paths.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "gas/gas.hpp"
+#include "sim/sim.hpp"
+
+namespace hupc::sched {
+
+template <class T>
+class StealStack {
+ public:
+  StealStack(gas::Runtime& rt, int owner, int chunk)
+      : rt_(&rt), owner_(owner), chunk_(chunk), lock_(rt, owner) {}
+
+  [[nodiscard]] int owner() const noexcept { return owner_; }
+  [[nodiscard]] int chunk() const noexcept { return chunk_; }
+
+  // --- owner-side (private portion; no lock) ----------------------------
+  void push(T item) { local_.push_back(std::move(item)); }
+  [[nodiscard]] bool pop(T& out) {
+    if (local_.empty()) return false;
+    out = std::move(local_.back());
+    local_.pop_back();
+    return true;
+  }
+  [[nodiscard]] std::size_t local_count() const noexcept { return local_.size(); }
+
+  /// Owner moves one chunk from the private to the shared portion when the
+  /// private portion holds at least two chunks (keeps one for itself).
+  [[nodiscard]] sim::Task<void> maybe_release(gas::Thread& self) {
+    if (local_.size() < 2 * static_cast<std::size_t>(chunk_)) co_return;
+    co_await lock_.acquire(self);
+    for (int i = 0; i < chunk_; ++i) {
+      shared_.push_back(std::move(local_.front()));
+      local_.pop_front();
+    }
+    ++releases_;
+    co_await lock_.release(self);
+  }
+
+  /// Owner pulls work back from its own shared portion (cheap local lock).
+  [[nodiscard]] sim::Task<bool> reacquire(gas::Thread& self) {
+    if (shared_.empty()) co_return false;
+    co_await lock_.acquire(self);
+    bool got = false;
+    const int take = static_cast<int>(
+        std::min<std::size_t>(shared_.size(), static_cast<std::size_t>(chunk_)));
+    for (int i = 0; i < take; ++i) {
+      local_.push_back(std::move(shared_.back()));
+      shared_.pop_back();
+      got = true;
+    }
+    co_await lock_.release(self);
+    co_return got;
+  }
+
+  // --- thief-side --------------------------------------------------------
+  /// Remote metadata probe: how much stealable work is visible? Charges a
+  /// fine-grained shared read from the thief's position.
+  [[nodiscard]] sim::Task<std::size_t> probe(gas::Thread& thief) {
+    co_await thief.shared_probe_cost(owner_);
+    co_return shared_.size();
+  }
+
+  /// Steal up to `granularity` items — or half of the shared portion when
+  /// `steal_half` (rapid diffusion) and at least two chunks are available.
+  /// The payload transfer is charged at `bytes_per_item`.
+  [[nodiscard]] sim::Task<std::size_t> steal(gas::Thread& thief,
+                                             std::vector<T>& out,
+                                             int granularity, bool steal_half,
+                                             double bytes_per_item) {
+    co_await lock_.acquire(thief);
+    std::size_t take = std::min<std::size_t>(
+        shared_.size(), static_cast<std::size_t>(granularity));
+    if (steal_half && shared_.size() >= 2 * static_cast<std::size_t>(chunk_)) {
+      take = shared_.size() / 2;
+    }
+    if (take > 0) {
+      // One bulk transfer for the stolen items.
+      co_await thief.copy_raw(owner_, nullptr, nullptr,
+                              static_cast<std::size_t>(
+                                  static_cast<double>(take) * bytes_per_item));
+      for (std::size_t i = 0; i < take; ++i) {
+        out.push_back(std::move(shared_.front()));
+        shared_.pop_front();
+      }
+    }
+    co_await lock_.release(thief);
+    co_return take;
+  }
+
+  [[nodiscard]] std::size_t shared_count() const noexcept {
+    return shared_.size();
+  }
+  [[nodiscard]] std::uint64_t releases() const noexcept { return releases_; }
+
+ private:
+  gas::Runtime* rt_;
+  int owner_;
+  int chunk_;
+  gas::GlobalLock lock_;
+  std::deque<T> local_;
+  std::deque<T> shared_;
+  std::uint64_t releases_ = 0;
+};
+
+}  // namespace hupc::sched

@@ -1,0 +1,211 @@
+// The parallel work-stealing engine driving UTS (thesis §3.3.2).
+//
+// Every rank runs the Fig 3.2 state machine:
+//
+//     Working -> (stack empty) -> Local Work Discovery -> Local Work
+//     Stealing -> (failed) -> Remote Work Discovery -> Remote Work
+//     Stealing -> (failed) -> back off / terminate
+//
+// Victim policies:
+//   random      — the original benchmark: victims drawn uniformly from all
+//                 ranks (locality-oblivious);
+//   local_first — the thesis optimization: prioritized discovery/stealing
+//                 within the thief's shared-memory node team, falling back
+//                 to remote victims only when no local work exists.
+// Rapid diffusion (steal-half above a threshold) composes with either.
+//
+// Termination uses an exact outstanding-work counter (single-threaded
+// simulator, so it is race-free): items are counted when pushed and
+// decremented when fully processed; zero outstanding means the whole tree
+// is exhausted.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "gas/gas.hpp"
+#include "sched/steal_stack.hpp"
+#include "sim/sim.hpp"
+#include "util/rng.hpp"
+
+namespace hupc::sched {
+
+enum class VictimPolicy { random, local_first };
+
+struct StealParams {
+  VictimPolicy policy = VictimPolicy::random;
+  bool rapid_diffusion = false;
+  int granularity = 8;        // items per steal (thesis: 8 on IB, 20 on Eth)
+  int chunk = 8;              // release chunk of the steal stacks
+  double item_cost_s = 0.5e-6;   // compute per item (~2 Mnodes/s/core)
+  double bytes_per_item = 24.0;  // payload per stolen item
+  int batch = 64;                // items processed per virtual-time charge
+  std::uint64_t seed = 0x5EED;
+};
+
+struct RankStats {
+  std::uint64_t processed = 0;
+  std::uint64_t local_steals = 0;
+  std::uint64_t remote_steals = 0;
+  std::uint64_t failed_probes = 0;
+  std::uint64_t releases = 0;
+};
+
+template <class T>
+class WorkStealing {
+ public:
+  /// `process(item, emit)` does the real per-item work and appends any
+  /// generated child items to `emit`.
+  using Process = std::function<void(const T&, std::vector<T>&)>;
+
+  WorkStealing(gas::Runtime& rt, StealParams params, Process process)
+      : rt_(&rt), params_(params), process_(std::move(process)) {
+    stacks_.reserve(static_cast<std::size_t>(rt.threads()));
+    for (int r = 0; r < rt.threads(); ++r) {
+      stacks_.push_back(
+          std::make_unique<StealStack<T>>(rt, r, params_.chunk));
+    }
+    stats_.resize(static_cast<std::size_t>(rt.threads()));
+  }
+
+  /// Seed rank `rank`'s stack before the run (typically the root at rank 0).
+  void seed_work(int rank, std::vector<T> items) {
+    outstanding_ += static_cast<std::int64_t>(items.size());
+    for (auto& item : items) {
+      stacks_[static_cast<std::size_t>(rank)]->push(std::move(item));
+    }
+  }
+
+  /// The SPMD kernel body: call from every rank, co_await to completion.
+  [[nodiscard]] sim::Task<void> run(gas::Thread& self) {
+    const int me = self.rank();
+    auto& stack = *stacks_[static_cast<std::size_t>(me)];
+    auto& stats = stats_[static_cast<std::size_t>(me)];
+    util::Xoshiro256ss rng(params_.seed ^
+                           (0x9E3779B97F4A7C15ULL * (me + 1)));
+    std::vector<T> children;
+    sim::Time backoff = 2 * sim::kMicrosecond;
+
+    while (outstanding_ > 0) {
+      // --- Working ------------------------------------------------------
+      if (stack.local_count() > 0) {
+        int done = 0;
+        T item;
+        while (done < params_.batch && stack.pop(item)) {
+          children.clear();
+          process_(item, children);
+          for (auto& c : children) stack.push(std::move(c));
+          outstanding_ += static_cast<std::int64_t>(children.size()) - 1;
+          ++done;
+        }
+        stats.processed += static_cast<std::uint64_t>(done);
+        co_await self.compute(params_.item_cost_s * done);
+        co_await stack.maybe_release(self);
+        backoff = 2 * sim::kMicrosecond;
+        continue;
+      }
+      // --- Local reacquire (own shared portion) --------------------------
+      if (co_await stack.reacquire(self)) continue;
+      // --- Discovery + stealing per policy -------------------------------
+      if (co_await try_steal(self, rng, stats)) {
+        backoff = 2 * sim::kMicrosecond;
+        continue;
+      }
+      if (outstanding_ <= 0) break;
+      co_await sim::delay(rt_->engine(), backoff);
+      backoff = std::min<sim::Time>(backoff * 2, 100 * sim::kMicrosecond);
+    }
+    co_return;
+  }
+
+  [[nodiscard]] const RankStats& stats(int rank) const {
+    return stats_[static_cast<std::size_t>(rank)];
+  }
+  [[nodiscard]] std::uint64_t total_processed() const {
+    std::uint64_t total = 0;
+    for (const auto& s : stats_) total += s.processed;
+    return total;
+  }
+  [[nodiscard]] double local_steal_ratio() const {
+    std::uint64_t local = 0, all = 0;
+    for (const auto& s : stats_) {
+      local += s.local_steals;
+      all += s.local_steals + s.remote_steals;
+    }
+    return all == 0 ? 0.0 : static_cast<double>(local) / static_cast<double>(all);
+  }
+  [[nodiscard]] StealStack<T>& stack(int rank) {
+    return *stacks_[static_cast<std::size_t>(rank)];
+  }
+
+ private:
+  /// One discovery sweep. Returns true if work was stolen.
+  [[nodiscard]] sim::Task<bool> try_steal(gas::Thread& self,
+                                          util::Xoshiro256ss& rng,
+                                          RankStats& stats) {
+    const int me = self.rank();
+    const int nthreads = rt_->threads();
+    std::vector<int> order;
+    order.reserve(static_cast<std::size_t>(nthreads) - 1);
+    if (params_.policy == VictimPolicy::local_first) {
+      // Local candidates first (random order), then remote (random order).
+      std::vector<int> local, remote;
+      for (int r = 0; r < nthreads; ++r) {
+        if (r == me) continue;
+        (rt_->node_of(r) == rt_->node_of(me) ? local : remote).push_back(r);
+      }
+      shuffle(local, rng);
+      shuffle(remote, rng);
+      order.insert(order.end(), local.begin(), local.end());
+      order.insert(order.end(), remote.begin(), remote.end());
+    } else {
+      for (int r = 0; r < nthreads; ++r) {
+        if (r != me) order.push_back(r);
+      }
+      shuffle(order, rng);
+    }
+
+    std::vector<T> loot;
+    for (int victim : order) {
+      auto& vstack = *stacks_[static_cast<std::size_t>(victim)];
+      const std::size_t visible = co_await vstack.probe(self);
+      if (visible == 0) {
+        ++stats.failed_probes;
+        continue;
+      }
+      const std::size_t got =
+          co_await vstack.steal(self, loot, params_.granularity,
+                                params_.rapid_diffusion, params_.bytes_per_item);
+      if (got > 0) {
+        auto& mine = *stacks_[static_cast<std::size_t>(me)];
+        for (auto& item : loot) mine.push(std::move(item));
+        if (rt_->node_of(victim) == rt_->node_of(me)) {
+          ++stats.local_steals;
+        } else {
+          ++stats.remote_steals;
+        }
+        stats.releases = stacks_[static_cast<std::size_t>(me)]->releases();
+        co_return true;
+      }
+      ++stats.failed_probes;
+    }
+    co_return false;
+  }
+
+  static void shuffle(std::vector<int>& v, util::Xoshiro256ss& rng) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[rng.below(i)]);
+    }
+  }
+
+  gas::Runtime* rt_;
+  StealParams params_;
+  Process process_;
+  std::vector<std::unique_ptr<StealStack<T>>> stacks_;
+  std::vector<RankStats> stats_;
+  std::int64_t outstanding_ = 0;
+};
+
+}  // namespace hupc::sched

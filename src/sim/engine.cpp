@@ -1,0 +1,37 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+namespace hupc::sim {
+
+void Engine::schedule_at(Time at, std::function<void()> fn) {
+  if (at < now_) at = now_;
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  Event ev = queue_.top();  // std::function targets are copyable by contract
+  queue_.pop();
+  now_ = ev.at;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+Time Engine::run() {
+  while (step()) {
+  }
+  return now_;
+}
+
+Time Engine::run_until(Time deadline) {
+  // If everything finishes early the clock stays where the last event ran;
+  // callers that need an exact advance can schedule a no-op at the deadline.
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    step();
+  }
+  return now_;
+}
+
+}  // namespace hupc::sim

@@ -1,0 +1,74 @@
+// The discrete-event simulation engine.
+//
+// A single Engine owns a priority queue of timestamped events. Events are
+// plain callbacks; coroutine-based logical processes (sim::Task) schedule
+// their own resumption through it. The entire simulation runs on one OS
+// thread: determinism comes from strict (time, sequence) ordering, and the
+// design is data-race-free by construction (C++ Core Guidelines CP.2).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace hupc::sim {
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current virtual time. Monotonically non-decreasing during run().
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// Schedule `fn` to run at absolute virtual time `at` (clamped to now()).
+  /// Events scheduled for the same instant run in scheduling order.
+  void schedule_at(Time at, std::function<void()> fn);
+
+  /// Schedule `fn` to run `delay` from now.
+  void schedule_in(Time delay, std::function<void()> fn) {
+    schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  }
+
+  /// Run until the event queue is empty. Returns the final virtual time.
+  Time run();
+
+  /// Run until the event queue is empty or virtual time would exceed
+  /// `deadline`; events after the deadline remain queued.
+  Time run_until(Time deadline);
+
+  /// Execute a single event. Returns false if the queue was empty.
+  bool step();
+
+  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+
+  /// Total events executed so far (useful for tests and perf counters).
+  [[nodiscard]] std::uint64_t events_executed() const noexcept {
+    return executed_;
+  }
+
+ private:
+  struct Event {
+    Time at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace hupc::sim

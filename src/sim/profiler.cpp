@@ -1,0 +1,114 @@
+#include "sim/profiler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+#include <set>
+
+#include "util/table.hpp"
+
+namespace hupc::sim {
+
+Profiler::Profiler(Engine& engine, int ranks)
+    : engine_(&engine),
+      ranks_(ranks),
+      timers_(static_cast<std::size_t>(ranks)),
+      counters_(static_cast<std::size_t>(ranks)) {
+  assert(ranks >= 1);
+}
+
+void Profiler::begin(int rank, const std::string& phase) {
+  auto& cell = timers_[static_cast<std::size_t>(rank)][phase];
+  assert(cell.open_since < 0 && "Profiler: phase already running");
+  cell.open_since = engine_->now();
+}
+
+void Profiler::end(int rank, const std::string& phase) {
+  auto& cell = timers_[static_cast<std::size_t>(rank)][phase];
+  assert(cell.open_since >= 0 && "Profiler: phase not running");
+  cell.accumulated += engine_->now() - cell.open_since;
+  cell.open_since = -1;
+}
+
+void Profiler::count(int rank, const std::string& counter,
+                     std::uint64_t delta) {
+  counters_[static_cast<std::size_t>(rank)][counter] += delta;
+}
+
+double Profiler::seconds(int rank, const std::string& phase) const {
+  const auto& map = timers_[static_cast<std::size_t>(rank)];
+  const auto it = map.find(phase);
+  return it == map.end() ? 0.0 : to_seconds(it->second.accumulated);
+}
+
+double Profiler::total_seconds(const std::string& phase) const {
+  double total = 0;
+  for (int r = 0; r < ranks_; ++r) total += seconds(r, phase);
+  return total;
+}
+
+std::uint64_t Profiler::counter(int rank, const std::string& name) const {
+  const auto& map = counters_[static_cast<std::size_t>(rank)];
+  const auto it = map.find(name);
+  return it == map.end() ? 0 : it->second;
+}
+
+std::vector<std::string> Profiler::phases() const {
+  std::set<std::string> names;
+  for (const auto& map : timers_) {
+    for (const auto& [name, cell] : map) names.insert(name);
+  }
+  return {names.begin(), names.end()};
+}
+
+void Profiler::report(std::ostream& os) const {
+  const auto names = phases();
+  std::vector<std::string> headers{"rank"};
+  headers.insert(headers.end(), names.begin(), names.end());
+  util::Table table(std::move(headers));
+  for (int r = 0; r < ranks_; ++r) {
+    std::vector<std::string> row{std::to_string(r)};
+    for (const auto& name : names) {
+      row.push_back(util::Table::num(seconds(r, name) * 1e3, 3));  // ms
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(os);
+}
+
+void Profiler::record(int rank, const std::string& phase, Time begin,
+                      Time end) {
+  assert(end >= begin);
+  timers_[static_cast<std::size_t>(rank)][phase].accumulated += end - begin;
+  intervals_.push_back(Interval{rank, phase, begin, end});
+}
+
+void Profiler::export_chrome_trace(std::ostream& os) const {
+  // Trace Event Format: "X" complete events, microsecond timestamps.
+  os << "[";
+  bool first = true;
+  for (const auto& iv : intervals_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n  {\"name\": \"" << iv.phase << "\", \"ph\": \"X\", \"pid\": 0, "
+       << "\"tid\": " << iv.rank
+       << ", \"ts\": " << static_cast<double>(iv.begin) / 1000.0
+       << ", \"dur\": " << static_cast<double>(iv.end - iv.begin) / 1000.0
+       << "}";
+  }
+  os << "\n]\n";
+}
+
+void Profiler::report_csv(std::ostream& os) const {
+  const auto names = phases();
+  os << "rank";
+  for (const auto& name : names) os << ',' << name;
+  os << '\n';
+  for (int r = 0; r < ranks_; ++r) {
+    os << r;
+    for (const auto& name : names) os << ',' << seconds(r, name);
+    os << '\n';
+  }
+}
+
+}  // namespace hupc::sim

@@ -1,0 +1,89 @@
+// Lightweight phase profiler for simulated programs: named accumulating
+// timers and counters per rank, with aligned-table and CSV reports. The FT
+// drivers use ad-hoc timing structs; this is the general-purpose facility
+// for user applications (and the ablation benches).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace hupc::sim {
+
+class Profiler {
+ public:
+  Profiler(Engine& engine, int ranks);
+
+  /// Start/stop a named phase for `rank`. Phases may not nest with the
+  /// same name; different names may overlap.
+  void begin(int rank, const std::string& phase);
+  void end(int rank, const std::string& phase);
+
+  /// Bump a named counter.
+  void count(int rank, const std::string& counter, std::uint64_t delta = 1);
+
+  /// Accumulated virtual seconds of `phase` at `rank` (0 if unknown).
+  [[nodiscard]] double seconds(int rank, const std::string& phase) const;
+  /// Sum over all ranks.
+  [[nodiscard]] double total_seconds(const std::string& phase) const;
+  [[nodiscard]] std::uint64_t counter(int rank, const std::string& name) const;
+
+  /// All phase names seen, sorted.
+  [[nodiscard]] std::vector<std::string> phases() const;
+
+  /// Record a completed interval explicitly (retroactive accounting); it
+  /// counts toward the phase totals and is retained for trace export.
+  void record(int rank, const std::string& phase, Time begin, Time end);
+
+  /// chrome://tracing ("Trace Event Format") JSON of every *recorded*
+  /// interval — load in a browser's tracing UI to see the virtual-time
+  /// schedule. Only intervals added via record() appear (begin/end pairs
+  /// fold into accumulated totals and are not individually retained).
+  void export_chrome_trace(std::ostream& os) const;
+
+  /// Per-rank table: one row per rank, one column per phase (seconds).
+  void report(std::ostream& os) const;
+  void report_csv(std::ostream& os) const;
+
+ private:
+  struct Cell {
+    Time accumulated = 0;
+    Time open_since = -1;  // -1 = not running
+  };
+  struct Interval {
+    int rank;
+    std::string phase;
+    Time begin;
+    Time end;
+  };
+
+  Engine* engine_;
+  int ranks_;
+  std::vector<Interval> intervals_;
+  std::vector<std::map<std::string, Cell>> timers_;
+  std::vector<std::map<std::string, std::uint64_t>> counters_;
+};
+
+/// RAII phase scope: begins at construction, ends at destruction.
+class ScopedPhase {
+ public:
+  ScopedPhase(Profiler& profiler, int rank, std::string phase)
+      : profiler_(&profiler), rank_(rank), phase_(std::move(phase)) {
+    profiler_->begin(rank_, phase_);
+  }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+  ~ScopedPhase() { profiler_->end(rank_, phase_); }
+
+ private:
+  Profiler* profiler_;
+  int rank_;
+  std::string phase_;
+};
+
+}  // namespace hupc::sim

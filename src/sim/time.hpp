@@ -1,0 +1,36 @@
+// Virtual-time representation for the discrete-event simulator.
+//
+// Time is a signed 64-bit count of *nanoseconds* — wide enough for ~292
+// simulated years, fine enough that a single cache miss is representable.
+// Cost models compute in double-precision seconds and convert once per
+// charge, so quantization error never accumulates per-element.
+#pragma once
+
+#include <cstdint>
+
+namespace hupc::sim {
+
+using Time = std::int64_t;
+
+inline constexpr Time kNanosecond = 1;
+inline constexpr Time kMicrosecond = 1'000;
+inline constexpr Time kMillisecond = 1'000'000;
+inline constexpr Time kSecond = 1'000'000'000;
+
+/// Convert seconds (as produced by analytic cost models) to virtual time,
+/// rounding to the nearest nanosecond. Negative durations are clamped to 0:
+/// a cost model can never make time flow backwards.
+[[nodiscard]] constexpr Time from_seconds(double s) noexcept {
+  if (s <= 0.0) return 0;
+  return static_cast<Time>(s * 1e9 + 0.5);
+}
+
+[[nodiscard]] constexpr double to_seconds(Time t) noexcept {
+  return static_cast<double>(t) * 1e-9;
+}
+
+[[nodiscard]] constexpr double to_micros(Time t) noexcept {
+  return static_cast<double>(t) * 1e-3;
+}
+
+}  // namespace hupc::sim

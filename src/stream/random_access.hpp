@@ -1,0 +1,70 @@
+// RandomAccess (HPCC GUPS) — the second thread-group application class the
+// thesis names (§4.4: "the thread group approach would fit better in these
+// cases, such as UTS, Random Access, etc.").
+//
+// A power-of-two table of 64-bit words is block-distributed over UPC
+// threads; each thread performs `updates` read-xor-write operations at
+// pseudo-random global indices (the HPCC LCG sequence).
+//
+// Variants:
+//   naive    — every update is a fine-grained remote AMO: latency-bound,
+//              THREADS x updates round trips;
+//   grouped  — the thread-group optimization: updates destined for the
+//              local supernode apply through privatized pointers; remote
+//              updates are bucketed per target node and shipped in bulk to
+//              a proxy member that applies them locally.
+//
+// Verification follows HPCC: applying the same update stream twice must
+// restore the table to its initial contents (xor is an involution).
+#pragma once
+
+#include <cstdint>
+
+#include "gas/gas.hpp"
+#include "sim/sim.hpp"
+
+namespace hupc::stream {
+
+enum class GupsVariant { naive, grouped };
+
+struct GupsResult {
+  double seconds = 0;
+  double gups = 0;  // giga-updates per second
+  std::uint64_t updates = 0;
+  std::uint64_t local = 0;   // applied through privatized pointers
+  std::uint64_t remote = 0;  // fine-grained AMOs or bucketed shipments
+};
+
+class RandomAccess {
+ public:
+  /// `log2_table`: total table size is 2^log2_table words, distributed with
+  /// equal blocks (THREADS must divide the table size).
+  RandomAccess(gas::Runtime& rt, int log2_table);
+
+  /// Run `updates_per_thread` updates on every rank; `passes` repetitions
+  /// of the same stream (2 passes restore the table — verification).
+  [[nodiscard]] GupsResult run(GupsVariant variant,
+                               std::uint64_t updates_per_thread,
+                               int passes = 1);
+
+  /// True when the table equals its initial contents (HPCC verification).
+  [[nodiscard]] bool verify() const;
+
+  [[nodiscard]] const gas::SharedArray<std::uint64_t>& table() const {
+    return table_;
+  }
+
+  /// The HPCC RandomAccess pseudo-random sequence: x <- (x << 1) ^ (poly
+  /// if the shifted-out bit was set), seeded per starting position.
+  [[nodiscard]] static std::uint64_t hpcc_next(std::uint64_t x) {
+    return (x << 1) ^ (static_cast<std::int64_t>(x) < 0 ? 0x7ULL : 0ULL);
+  }
+
+ private:
+  gas::Runtime* rt_;
+  int log2_table_;
+  std::uint64_t mask_;
+  gas::SharedArray<std::uint64_t> table_;
+};
+
+}  // namespace hupc::stream

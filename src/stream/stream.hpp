@@ -1,0 +1,53 @@
+// STREAM triad study (thesis §3.3.1 Table 3.1 and §4.3.2 Table 4.1).
+//
+// The "twisted" triad gives every thread an odd/even-exchange access
+// pattern: thread 2k reads its data from thread 2k+1's shared slice and
+// vice versa — harmless for a shared-memory model, catastrophic for UPC
+// when every access drags a shared-pointer translation along.
+//
+// Variants (Table 3.1):
+//   upc_baseline       — fine-grained shared accesses, translation per
+//                        element;
+//   upc_relocalize     — bulk upc_memget of the partner slices into private
+//                        buffers, then a local triad;
+//   upc_cast           — pointer privatization via the castability
+//                        extension: plain loads/stores;
+//   openmp             — the shared-memory reference (no translation).
+//
+// The hybrid placement study (Table 4.1) runs the plain triad under
+// UPC x sub-thread configurations with socket-aware binding.
+#pragma once
+
+#include <cstddef>
+
+#include "core/core.hpp"
+#include "gas/gas.hpp"
+#include "sim/sim.hpp"
+
+namespace hupc::stream {
+
+enum class TriadVariant { upc_baseline, upc_relocalize, upc_cast, openmp };
+
+struct TriadResult {
+  double seconds = 0;
+  double gbytes_per_s = 0;  // triad bytes moved (24 B/element) over time
+};
+
+/// Twisted triad over `elements_per_thread` doubles per rank; returns the
+/// aggregate throughput. Must be run on a single-node runtime (the twisted
+/// pattern pairs adjacent ranks).
+[[nodiscard]] TriadResult twisted_triad(gas::Runtime& rt,
+                                        std::size_t elements_per_thread,
+                                        TriadVariant variant);
+
+/// Plain (local-data) triad under UPC x sub-thread execution: every master
+/// first-touches its arrays (home = the master's socket) and `subs`
+/// sub-threads stream them. Masters are socket-bound by the runtime's
+/// placement; sub-threads inherit the master's socket — so a 1x8
+/// configuration funnels all traffic through one socket (Table 4.1's
+/// 13.9 GB/s collapse) while 2x4 and 4x2 use both.
+[[nodiscard]] TriadResult hybrid_triad(gas::Runtime& rt,
+                                       std::size_t elements_per_thread,
+                                       int subs, core::SubModel model);
+
+}  // namespace hupc::stream

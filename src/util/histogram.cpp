@@ -1,0 +1,56 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+namespace hupc::util {
+
+Histogram::Histogram(int max_log2)
+    : counts_(static_cast<std::size_t>(max_log2) + 1, 0) {}
+
+void Histogram::add(double value, std::uint64_t weight) {
+  int index = 0;
+  if (value >= 1.0) {
+    index = 1 + static_cast<int>(std::floor(std::log2(value)));
+  }
+  index = std::clamp(index, 0, buckets() - 1);
+  counts_[static_cast<std::size_t>(index)] += weight;
+  total_ += weight;
+}
+
+double Histogram::bucket_floor(int index) {
+  if (index <= 0) return 0.0;
+  return std::ldexp(1.0, index - 1);
+}
+
+double Histogram::percentile_ceiling(double p) const {
+  if (total_ == 0) return 0.0;
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(std::clamp(p, 0.0, 1.0) * static_cast<double>(total_)));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < buckets(); ++i) {
+    seen += counts_[static_cast<std::size_t>(i)];
+    if (seen >= target) return bucket_floor(i + 1);
+  }
+  return bucket_floor(buckets());
+}
+
+void Histogram::print(std::ostream& os, const std::string& unit) const {
+  std::uint64_t max_count = 0;
+  for (auto c : counts_) max_count = std::max(max_count, c);
+  if (max_count == 0) {
+    os << "(empty)\n";
+    return;
+  }
+  for (int i = 0; i < buckets(); ++i) {
+    const auto c = counts_[static_cast<std::size_t>(i)];
+    if (c == 0) continue;
+    const int bar = static_cast<int>(40 * c / max_count);
+    os << "[" << bucket_floor(i) << ", " << bucket_floor(i + 1) << ") " << unit
+       << ": " << c << " " << std::string(static_cast<std::size_t>(bar), '#')
+       << "\n";
+  }
+}
+
+}  // namespace hupc::util

@@ -1,0 +1,42 @@
+// Power-of-two bucket histogram: message-size and latency distributions in
+// benches and network diagnostics.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hupc::util {
+
+class Histogram {
+ public:
+  /// Buckets: [0,1), [1,2), [2,4), ..., doubling; values above the top
+  /// bucket clamp into it. `max_log2` buckets above the unit bucket.
+  explicit Histogram(int max_log2 = 32);
+
+  void add(double value, std::uint64_t weight = 1);
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t bucket(int index) const {
+    return counts_[static_cast<std::size_t>(index)];
+  }
+  [[nodiscard]] int buckets() const noexcept {
+    return static_cast<int>(counts_.size());
+  }
+  /// Lower bound of bucket `index` (0, 1, 2, 4, ...).
+  [[nodiscard]] static double bucket_floor(int index);
+
+  /// Smallest value v such that at least `p` (0..1) of the weight is <= v's
+  /// bucket ceiling. Returns 0 for an empty histogram.
+  [[nodiscard]] double percentile_ceiling(double p) const;
+
+  /// Text rendering: one line per non-empty bucket with a proportional bar.
+  void print(std::ostream& os, const std::string& unit = "") const;
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace hupc::util

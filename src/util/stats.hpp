@@ -1,0 +1,72 @@
+// Small descriptive-statistics helpers for benchmark harnesses: the paper
+// reports medians of repeated microbenchmark trials and means of application
+// timings, so both are provided along with spread measures.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hupc::util {
+
+/// Accumulates samples; queries are O(n log n) at most (sorting for
+/// percentiles) and do not mutate the stored samples.
+class Stats {
+ public:
+  void add(double x) { samples_.push_back(x); }
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+
+  [[nodiscard]] double sum() const noexcept {
+    double s = 0;
+    for (double x : samples_) s += x;
+    return s;
+  }
+
+  [[nodiscard]] double mean() const noexcept {
+    return samples_.empty() ? 0.0 : sum() / static_cast<double>(samples_.size());
+  }
+
+  [[nodiscard]] double min() const noexcept {
+    return samples_.empty() ? 0.0 : *std::min_element(samples_.begin(), samples_.end());
+  }
+
+  [[nodiscard]] double max() const noexcept {
+    return samples_.empty() ? 0.0 : *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+  [[nodiscard]] double stddev() const noexcept {
+    if (samples_.size() < 2) return 0.0;
+    const double m = mean();
+    double acc = 0;
+    for (double x : samples_) acc += (x - m) * (x - m);
+    return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+  }
+
+  /// Percentile via linear interpolation between closest ranks; p in [0,100].
+  [[nodiscard]] double percentile(double p) const {
+    if (samples_.empty()) return 0.0;
+    std::vector<double> sorted(samples_);
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.size() == 1) return sorted.front();
+    const double clamped = std::clamp(p, 0.0, 100.0);
+    const double rank = clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const auto hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+  }
+
+  [[nodiscard]] double median() const { return percentile(50.0); }
+
+  [[nodiscard]] std::span<const double> samples() const noexcept { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace hupc::util

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "fft/ft_model.hpp"
+#include "fft/ft_real.hpp"
+#include "gas/gas.hpp"
+
+namespace {
+
+using namespace hupc;  // NOLINT: test-local convenience
+using fft::Complex;
+using fft::CommVariant;
+using fft::FtConfig;
+using fft::FtModel;
+using fft::FtParams;
+using fft::FtReal;
+using gas::Config;
+using gas::Runtime;
+using gas::Thread;
+
+Config cfg(int threads, int nodes, gas::Backend backend = gas::Backend::processes) {
+  Config c;
+  c.machine = topo::lehman(nodes);
+  c.threads = threads;
+  c.backend = backend;
+  return c;
+}
+
+class FtRealParam
+    : public ::testing::TestWithParam<std::tuple<int, int, CommVariant>> {};
+
+TEST_P(FtRealParam, DistributedMatchesSerialOracle) {
+  const auto [threads, nodes, variant] = GetParam();
+  sim::Engine e;
+  Runtime rt(e, cfg(threads, nodes));
+  FtParams grid{32, 16, 32, 1, "test"};
+  FtReal ft(rt, grid, variant);
+  ft.fill_input(1234);
+
+  std::vector<Complex> oracle = ft.initial_grid();
+  fft::fft_3d_serial(oracle.data(), static_cast<std::size_t>(grid.nx),
+                     static_cast<std::size_t>(grid.ny),
+                     static_cast<std::size_t>(grid.nz), -1);
+
+  rt.spmd([&ft](Thread& t) -> sim::Task<void> { co_await ft.run(t); });
+  rt.run_to_completion();
+
+  const auto result = ft.gather_result();
+  ASSERT_EQ(result.size(), oracle.size());
+  double max_diff = 0;
+  for (std::size_t i = 0; i < result.size(); ++i) {
+    max_diff = std::max(max_diff, std::abs(result[i] - oracle[i]));
+  }
+  EXPECT_LT(max_diff, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FtRealParam,
+    ::testing::Values(std::tuple{1, 1, CommVariant::split_phase},
+                      std::tuple{2, 1, CommVariant::split_phase},
+                      std::tuple{4, 2, CommVariant::split_phase},
+                      std::tuple{8, 2, CommVariant::split_phase},
+                      std::tuple{4, 2, CommVariant::overlap},
+                      std::tuple{8, 4, CommVariant::overlap}));
+
+TEST(FtModel, PhaseTimingsAreAllPositive) {
+  sim::Engine e;
+  Runtime rt(e, cfg(8, 4));
+  FtConfig fc;
+  fc.grid = FtParams::class_s();
+  FtModel ft(rt, fc);
+  rt.spmd([&ft](Thread& t) -> sim::Task<void> { co_await ft.run(t); });
+  rt.run_to_completion();
+  const auto m = ft.mean();
+  EXPECT_GT(m.evolve, 0.0);
+  EXPECT_GT(m.fft2d, 0.0);
+  EXPECT_GT(m.transpose, 0.0);
+  EXPECT_GT(m.comm, 0.0);
+  EXPECT_GT(m.fft1d, 0.0);
+  EXPECT_GT(m.total, m.evolve + m.fft2d + m.comm);
+}
+
+TEST(FtModel, ComputePhasesScaleNearLinearly) {
+  // Fig 4.4: local kernels scale; all-to-all flattens past 2 threads/node.
+  auto run = [](int threads) {
+    sim::Engine e;
+    Runtime rt(e, cfg(threads, 8));
+    FtConfig fc;
+    fc.grid = FtParams::class_a();
+    FtModel ft(rt, fc);
+    rt.spmd([&ft](Thread& t) -> sim::Task<void> { co_await ft.run(t); });
+    rt.run_to_completion();
+    return ft.mean();
+  };
+  const auto t8 = run(8);
+  const auto t32 = run(32);
+  EXPECT_NEAR(t8.fft2d / t32.fft2d, 4.0, 0.5);       // compute: ~linear
+  EXPECT_LT(t8.comm / t32.comm, 2.5);                // comm: sub-linear
+}
+
+TEST(FtModel, OverlapBeatsSplitPhase) {
+  auto total = [](CommVariant v) {
+    sim::Engine e;
+    Runtime rt(e, cfg(16, 8));
+    FtConfig fc;
+    fc.grid = FtParams::class_a();
+    fc.variant = v;
+    FtModel ft(rt, fc);
+    rt.spmd([&ft](Thread& t) -> sim::Task<void> { co_await ft.run(t); });
+    rt.run_to_completion();
+    return ft.mean().total;
+  };
+  EXPECT_LT(total(CommVariant::overlap), total(CommVariant::split_phase));
+}
+
+TEST(FtModel, HybridReducesCommTimeAtFullSubscription) {
+  // The Chapter 4 headline: at full node subscription the hybrid
+  // UPC x sub-threads run spends less time in communication than pure
+  // process UPC with the same total parallelism.
+  auto comm_time = [](int upc_threads, int subs) {
+    sim::Engine e;
+    Runtime rt(e, cfg(upc_threads, 8));
+    FtConfig fc;
+    fc.grid = FtParams::class_a();
+    fc.subs = subs;
+    FtModel ft(rt, fc);
+    rt.spmd([&ft](Thread& t) -> sim::Task<void> { co_await ft.run(t); });
+    rt.run_to_completion();
+    return ft.mean();
+  };
+  const auto pure = comm_time(64, 0);      // 8 processes/node
+  const auto hybrid = comm_time(8, 8);     // 1 master + 8 subs per node
+  EXPECT_LT(hybrid.comm, pure.comm);
+}
+
+TEST(FtModel, MpiUsesFarFewerMessagesAtSmallChunks) {
+  // At 64 threads the class-S exchange chunk is 1 KiB, below the
+  // aggregation threshold: the tuned collective ships nodes^2 leader
+  // messages instead of THREADS^2 point-to-point ones.
+  auto messages = [](fft::FtComm comm) {
+    sim::Engine e;
+    Runtime rt(e, cfg(64, 8));
+    FtConfig fc;
+    fc.grid = FtParams::class_s();
+    fc.comm = comm;
+    FtModel ft(rt, fc);
+    rt.spmd([&ft](Thread& t) -> sim::Task<void> { co_await ft.run(t); });
+    rt.run_to_completion();
+    return rt.network().total_messages();
+  };
+  EXPECT_LT(messages(fft::FtComm::mpi_alltoall),
+            messages(fft::FtComm::upc_p2p) / 4);
+}
+
+TEST(FtModel, ClassParamsMatchNas) {
+  EXPECT_EQ(FtParams::class_b().nx, 512);
+  EXPECT_EQ(FtParams::class_b().ny, 256);
+  EXPECT_EQ(FtParams::class_b().nz, 256);
+  EXPECT_EQ(FtParams::class_b().iterations, 20);
+  EXPECT_EQ(FtParams::class_a().iterations, 6);
+}
+
+}  // namespace

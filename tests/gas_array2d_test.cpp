@@ -1,0 +1,97 @@
+// Multidimensional blocking (shared [BR][BC] T a[R][C]).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gas/gas.hpp"
+
+namespace {
+
+using namespace hupc;  // NOLINT: test-local convenience
+using gas::SharedArray2D;
+using gas::SharedHeap;
+
+TEST(SharedArray2D, TileOwnershipRoundRobin) {
+  SharedHeap heap(4);
+  auto a = heap.all_alloc_2d<int>(8, 8, 2, 2);  // 4x4 tiles over 4 threads
+  EXPECT_EQ(a.tile_rows(), 4u);
+  EXPECT_EQ(a.tile_cols(), 4u);
+  EXPECT_EQ(a.owner_of(0, 0), 0);
+  EXPECT_EQ(a.owner_of(0, 2), 1);  // next tile right
+  EXPECT_EQ(a.owner_of(0, 7), 3);
+  EXPECT_EQ(a.owner_of(2, 0), 0);  // second tile row wraps
+  EXPECT_EQ(a.owner_of(1, 1), 0);  // same tile as (0,0)
+}
+
+TEST(SharedArray2D, EveryElementDistinctAndWritable) {
+  SharedHeap heap(3);
+  auto a = heap.all_alloc_2d<int>(10, 14, 3, 5);  // uneven tiles, padding
+  std::set<int*> seen;
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t j = 0; j < 14; ++j) {
+      auto p = a.at(i, j);
+      ASSERT_TRUE(p.valid());
+      EXPECT_TRUE(seen.insert(p.raw).second) << i << "," << j;
+      *p.raw = static_cast<int>(100 * i + j);
+    }
+  }
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t j = 0; j < 14; ++j) {
+      EXPECT_EQ(*a.at(i, j).raw, static_cast<int>(100 * i + j));
+    }
+  }
+}
+
+TEST(SharedArray2D, TilesBalancedCeilDistribution) {
+  SharedHeap heap(4);
+  auto a = heap.all_alloc_2d<double>(6, 6, 2, 2);  // 9 tiles over 4
+  EXPECT_EQ(a.tiles_of(0), 3u);
+  EXPECT_EQ(a.tiles_of(1), 2u);
+  EXPECT_EQ(a.tiles_of(2), 2u);
+  EXPECT_EQ(a.tiles_of(3), 2u);
+}
+
+TEST(SharedArray2D, TileBaseIsDenseAndConsistent) {
+  SharedHeap heap(2);
+  auto a = heap.all_alloc_2d<int>(4, 4, 2, 2);
+  const auto base = a.tile_base(2, 2);  // tile (1,1)
+  EXPECT_EQ(base.owner, a.owner_of(2, 2));
+  // Element (3,3) = tile-local (1,1) -> base + 1*2 + 1.
+  EXPECT_EQ(a.at(3, 3).raw, base.raw + 3);
+  EXPECT_EQ(a.at(2, 2).raw, base.raw);
+}
+
+TEST(SharedArray2D, PrivatizationOfWholeTiles) {
+  sim::Engine e;
+  gas::Config c;
+  c.machine = topo::lehman(1);
+  c.threads = 4;
+  gas::Runtime rt(e, c);
+  auto a = rt.heap().all_alloc_2d<int>(8, 8, 4, 4);  // 4 tiles, 1/thread
+  rt.spmd([&a](gas::Thread& t) -> sim::Task<void> {
+    if (t.rank() == 0) {
+      // All tiles castable on a single node: fill neighbour tile directly.
+      int* tile = t.cast(a.tile_base(0, 4));
+      EXPECT_NE(tile, nullptr);
+      if (tile != nullptr) {
+        for (int i = 0; i < 16; ++i) tile[i] = 900 + i;
+      }
+    }
+    co_return;
+  });
+  rt.run_to_completion();
+  EXPECT_EQ(*a.at(0, 4).raw, 900);
+  EXPECT_EQ(*a.at(3, 7).raw, 915);
+}
+
+TEST(SharedArray2D, SingleThreadOwnsEverything) {
+  SharedHeap heap(1);
+  auto a = heap.all_alloc_2d<int>(5, 5, 2, 2);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_EQ(a.owner_of(i, j), 0);
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gas/gas.hpp"
+
+namespace {
+
+using namespace hupc;  // NOLINT: test-local convenience
+using gas::Backend;
+using gas::Collectives;
+using gas::Config;
+using gas::GlobalPtr;
+using gas::Runtime;
+using gas::Thread;
+
+Config cfg_for(int threads) {
+  Config cfg;
+  cfg.machine = topo::lehman(4);
+  cfg.threads = threads;
+  return cfg;
+}
+
+class CollectivesParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectivesParam, ExchangeDeliversAllToAll) {
+  const int T = GetParam();
+  sim::Engine e;
+  Runtime rt(e, cfg_for(T));
+  Collectives coll(rt);
+  const std::size_t count = 8;
+  // recv[r] sized T*count; send buffers private per rank.
+  std::vector<GlobalPtr<int>> recv;
+  for (int r = 0; r < T; ++r) {
+    recv.push_back(rt.heap().alloc<int>(r, static_cast<std::size_t>(T) * count));
+  }
+  std::vector<std::vector<int>> send(static_cast<std::size_t>(T));
+  for (int r = 0; r < T; ++r) {
+    send[static_cast<std::size_t>(r)].resize(static_cast<std::size_t>(T) * count);
+    for (int p = 0; p < T; ++p) {
+      for (std::size_t i = 0; i < count; ++i) {
+        send[static_cast<std::size_t>(r)][static_cast<std::size_t>(p) * count + i] =
+            r * 10000 + p * 100 + static_cast<int>(i);
+      }
+    }
+  }
+  rt.spmd([&](Thread& t) -> sim::Task<void> {
+    co_await coll.exchange(t, recv, send[static_cast<std::size_t>(t.rank())].data(),
+                           count, /*overlap=*/(t.threads() % 2 == 0));
+  });
+  rt.run_to_completion();
+  for (int r = 0; r < T; ++r) {
+    for (int from = 0; from < T; ++from) {
+      for (std::size_t i = 0; i < count; ++i) {
+        EXPECT_EQ(recv[static_cast<std::size_t>(r)]
+                      .raw[static_cast<std::size_t>(from) * count + i],
+                  from * 10000 + r * 100 + static_cast<int>(i))
+            << "rank " << r << " from " << from << " i " << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CollectivesParam,
+                         ::testing::Values(1, 2, 3, 4, 8, 16));
+
+class BroadcastParam : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(BroadcastParam, EveryRankGetsRootPayload) {
+  const auto [T, root] = GetParam();
+  sim::Engine e;
+  Runtime rt(e, cfg_for(T));
+  Collectives coll(rt);
+  const std::size_t count = 16;
+  std::vector<GlobalPtr<double>> bufs;
+  for (int r = 0; r < T; ++r) bufs.push_back(rt.heap().alloc<double>(r, count));
+  for (std::size_t i = 0; i < count; ++i) {
+    bufs[static_cast<std::size_t>(root)].raw[i] = 3.5 * static_cast<double>(i);
+  }
+  rt.spmd([&](Thread& t) -> sim::Task<void> {
+    co_await coll.broadcast(t, bufs, count, root);
+  });
+  rt.run_to_completion();
+  for (int r = 0; r < T; ++r) {
+    for (std::size_t i = 0; i < count; ++i) {
+      EXPECT_DOUBLE_EQ(bufs[static_cast<std::size_t>(r)].raw[i],
+                       3.5 * static_cast<double>(i));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BroadcastParam,
+    ::testing::Values(std::pair{1, 0}, std::pair{2, 0}, std::pair{2, 1},
+                      std::pair{7, 3}, std::pair{8, 0}, std::pair{16, 5}));
+
+class ReduceParam : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(ReduceParam, SumsAcrossRanks) {
+  const auto [T, root] = GetParam();
+  sim::Engine e;
+  Runtime rt(e, cfg_for(T));
+  Collectives coll(rt);
+  const std::size_t count = 4;
+  std::vector<GlobalPtr<long>> bufs;
+  for (int r = 0; r < T; ++r) {
+    // Root needs T*count staging; others just count.
+    const std::size_t n = r == root ? static_cast<std::size_t>(T) * count : count;
+    bufs.push_back(rt.heap().alloc<long>(r, n));
+    for (std::size_t i = 0; i < count; ++i) {
+      bufs.back().raw[i] = static_cast<long>((r + 1) * 100 + static_cast<int>(i));
+    }
+  }
+  rt.spmd([&](Thread& t) -> sim::Task<void> {
+    co_await coll.reduce(t, bufs, count, root,
+                         [](long a, long b) { return a + b; });
+  });
+  rt.run_to_completion();
+  for (std::size_t i = 0; i < count; ++i) {
+    long expected = 0;
+    for (int r = 0; r < T; ++r) {
+      expected += static_cast<long>((r + 1) * 100 + static_cast<int>(i));
+    }
+    EXPECT_EQ(bufs[static_cast<std::size_t>(root)].raw[i], expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ReduceParam,
+    ::testing::Values(std::pair{1, 0}, std::pair{2, 1}, std::pair{5, 2},
+                      std::pair{8, 0}, std::pair{16, 15}));
+
+class GatherParam : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(GatherParam, CollectsInRelativeOrder) {
+  const auto [T, root] = GetParam();
+  sim::Engine e;
+  Runtime rt(e, cfg_for(T));
+  Collectives coll(rt);
+  const std::size_t count = 3;
+  std::vector<GlobalPtr<int>> bufs;
+  for (int r = 0; r < T; ++r) {
+    const std::size_t n = r == root ? count * static_cast<std::size_t>(T) : count;
+    bufs.push_back(rt.heap().alloc<int>(r, n));
+    for (std::size_t i = 0; i < count; ++i) {
+      bufs.back().raw[i] = r * 100 + static_cast<int>(i);
+    }
+  }
+  rt.spmd([&](Thread& t) -> sim::Task<void> {
+    co_await coll.gather(t, bufs, count, root);
+  });
+  rt.run_to_completion();
+  // Slot rel holds member (root + rel) % T's contribution.
+  for (int rel = 0; rel < T; ++rel) {
+    const int member = (root + rel) % T;
+    for (std::size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(bufs[static_cast<std::size_t>(root)]
+                    .raw[static_cast<std::size_t>(rel) * count + i],
+                member * 100 + static_cast<int>(i))
+          << "rel " << rel << " i " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GatherParam,
+                         ::testing::Values(std::pair{1, 0}, std::pair{4, 0},
+                                           std::pair{4, 2}, std::pair{8, 5},
+                                           std::pair{16, 15}));
+
+TEST(Collectives, AllreduceGivesEveryoneTheSum) {
+  const int T = 8;
+  sim::Engine e;
+  Runtime rt(e, cfg_for(T));
+  Collectives coll(rt);
+  const std::size_t count = 4;
+  std::vector<GlobalPtr<long>> bufs;
+  for (int r = 0; r < T; ++r) {
+    // Allreduce contract: every buffer sized count*T (member 0 stages).
+    bufs.push_back(rt.heap().alloc<long>(r, count * T));
+    for (std::size_t i = 0; i < count; ++i) {
+      bufs.back().raw[i] = (r + 1) * 10 + static_cast<long>(i);
+    }
+  }
+  rt.spmd([&](Thread& t) -> sim::Task<void> {
+    co_await coll.allreduce(t, bufs, count, [](long a, long b) { return a + b; });
+  });
+  rt.run_to_completion();
+  for (int r = 0; r < T; ++r) {
+    for (std::size_t i = 0; i < count; ++i) {
+      long expected = 0;
+      for (int m = 0; m < T; ++m) expected += (m + 1) * 10 + static_cast<long>(i);
+      EXPECT_EQ(bufs[static_cast<std::size_t>(r)].raw[i], expected)
+          << "rank " << r << " i " << i;
+    }
+  }
+}
+
+TEST(CollectivesTiming, ExchangeOverlapBeatsBlocking) {
+  auto timed = [](bool overlap) {
+    sim::Engine e;
+    Runtime rt(e, cfg_for(16));  // 4 per node over 4 nodes
+    Collectives coll(rt);
+    const std::size_t count = 64 * 1024;  // ints: 256 KiB per peer-pair
+    std::vector<GlobalPtr<int>> recv;
+    for (int r = 0; r < 16; ++r) {
+      recv.push_back(rt.heap().alloc<int>(r, 16 * count));
+    }
+    static std::vector<int> send(16 * count, 1);
+    rt.spmd([&, overlap](Thread& t) -> sim::Task<void> {
+      co_await coll.exchange(t, recv, send.data(), count, overlap);
+    });
+    rt.run_to_completion();
+    return sim::to_seconds(e.now());
+  };
+  EXPECT_LT(timed(true), timed(false));
+}
+
+}  // namespace

@@ -1,0 +1,96 @@
+// upc_forall analogue: affinity-driven loop partitioning.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "gas/forall.hpp"
+#include "gas/gas.hpp"
+
+namespace {
+
+using namespace hupc;  // NOLINT: test-local convenience
+using gas::Config;
+using gas::Runtime;
+using gas::Thread;
+
+Config cfg(int threads) {
+  Config c;
+  c.machine = topo::lehman(2);
+  c.threads = threads;
+  return c;
+}
+
+class ForallParam : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(ForallParam, EachElementTouchedExactlyOnceByItsOwner) {
+  const auto [threads, block] = GetParam();
+  sim::Engine e;
+  Runtime rt(e, cfg(threads));
+  const std::size_t n = 100;
+  auto a = rt.heap().all_alloc<int>(n, static_cast<std::size_t>(block));
+  for (std::size_t i = 0; i < n; ++i) *a.at(i).raw = 0;
+
+  rt.spmd([&](Thread& t) -> sim::Task<void> {
+    co_await gas::forall(t, a, [&](std::size_t i, int& elem) {
+      EXPECT_EQ(a.owner_of(i), t.rank());
+      elem += 1;
+    });
+  });
+  rt.run_to_completion();
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(*a.at(i).raw, 1) << "element " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ForallParam,
+                         ::testing::Values(std::pair{1, 1}, std::pair{4, 1},
+                                           std::pair{4, 7}, std::pair{8, 16},
+                                           std::pair{3, 4}));
+
+TEST(Forall, ComputesDistributedSum) {
+  sim::Engine e;
+  Runtime rt(e, cfg(4));
+  const std::size_t n = 64;
+  auto a = rt.heap().all_alloc<long>(n, 4);
+  for (std::size_t i = 0; i < n; ++i) *a.at(i).raw = static_cast<long>(i);
+  std::vector<long> partial(4, 0);
+  rt.spmd([&](Thread& t) -> sim::Task<void> {
+    co_await gas::forall(t, a, [&](std::size_t, long& v) {
+      partial[static_cast<std::size_t>(t.rank())] += v;
+    });
+  });
+  rt.run_to_completion();
+  EXPECT_EQ(std::accumulate(partial.begin(), partial.end(), 0L),
+            static_cast<long>(n * (n - 1) / 2));
+}
+
+TEST(Forall, CyclicCoversIndexSpace) {
+  sim::Engine e;
+  Runtime rt(e, cfg(4));
+  std::vector<int> hits(37, 0);
+  rt.spmd([&](Thread& t) -> sim::Task<void> {
+    co_await gas::forall_cyclic(t, hits.size(), [&](std::size_t i) {
+      EXPECT_EQ(i % 4, static_cast<std::size_t>(t.rank()));
+      ++hits[i];
+    });
+  });
+  rt.run_to_completion();
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(Forall, ChargesTimeProportionalToOwnedWork) {
+  auto timed = [](int threads) {
+    sim::Engine e;
+    Runtime rt(e, cfg(threads));
+    auto a = rt.heap().all_alloc<int>(1 << 16, 64);
+    rt.spmd([&](Thread& t) -> sim::Task<void> {
+      co_await gas::forall(t, a, [](std::size_t, int&) {}, 1e-7);
+    });
+    rt.run_to_completion();
+    return sim::to_seconds(e.now());
+  };
+  EXPECT_NEAR(timed(1) / timed(4), 4.0, 0.3);
+}
+
+}  // namespace

@@ -1,0 +1,325 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "gas/gas.hpp"
+
+namespace {
+
+using namespace hupc;  // NOLINT: test-local convenience
+using gas::Backend;
+using gas::Config;
+using gas::GlobalPtr;
+using gas::Runtime;
+using gas::Thread;
+
+Config small_config(int threads, Backend backend = Backend::processes,
+                    bool pshm = true, int nodes = 2) {
+  Config cfg;
+  cfg.machine = topo::lehman(nodes);
+  cfg.threads = threads;
+  cfg.backend = backend;
+  cfg.pshm = pshm;
+  return cfg;
+}
+
+TEST(SharedArray, BlockCyclicLayout) {
+  gas::SharedHeap heap(4);
+  auto arr = heap.all_alloc<int>(20, 2);  // shared [2] int a[20] over 4
+  EXPECT_EQ(arr.owner_of(0), 0);
+  EXPECT_EQ(arr.owner_of(1), 0);
+  EXPECT_EQ(arr.owner_of(2), 1);
+  EXPECT_EQ(arr.owner_of(7), 3);
+  EXPECT_EQ(arr.owner_of(8), 0);  // wraps
+  // 10 blocks over 4 threads: threads 0,1 get 3 blocks; 2,3 get 2.
+  EXPECT_EQ(arr.local_size(0), 6u);
+  EXPECT_EQ(arr.local_size(1), 6u);
+  EXPECT_EQ(arr.local_size(2), 4u);
+  EXPECT_EQ(arr.local_size(3), 4u);
+}
+
+TEST(SharedArray, AtResolvesDistinctAddresses) {
+  gas::SharedHeap heap(3);
+  auto arr = heap.all_alloc<double>(30, 5);
+  for (std::size_t i = 0; i < 30; ++i) {
+    auto p = arr.at(i);
+    ASSERT_TRUE(p.valid());
+    *p.raw = static_cast<double>(i);
+  }
+  for (std::size_t i = 0; i < 30; ++i) {
+    EXPECT_DOUBLE_EQ(*arr.at(i).raw, static_cast<double>(i));
+  }
+}
+
+TEST(SharedArray, PartialTailBlock) {
+  gas::SharedHeap heap(2);
+  auto arr = heap.all_alloc<int>(7, 4);  // blocks: [0..3]@t0, [4..6]@t1
+  EXPECT_EQ(arr.local_size(0), 4u);
+  EXPECT_EQ(arr.local_size(1), 3u);
+  EXPECT_EQ(arr.owner_of(6), 1);
+}
+
+TEST(Segment, AlignmentAndStability) {
+  gas::Segment seg(1024);
+  void* a = seg.allocate(100, 64);
+  void* b = seg.allocate(2000, 8);  // larger than chunk: dedicated chunk
+  void* c = seg.allocate(100, 64);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % 64, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c) % 64, 0u);
+  EXPECT_NE(a, b);
+  EXPECT_NE(b, c);
+  // Previously returned memory still usable after growth.
+  *static_cast<int*>(a) = 7;
+  EXPECT_EQ(*static_cast<int*>(a), 7);
+}
+
+TEST(Runtime, SpmdRanksSeeIdentity) {
+  sim::Engine e;
+  Runtime rt(e, small_config(8));
+  std::vector<int> seen(8, -1);
+  rt.spmd([&seen](Thread& t) -> sim::Task<void> {
+    seen[static_cast<std::size_t>(t.rank())] = t.rank();
+    EXPECT_EQ(t.threads(), 8);
+    co_return;
+  });
+  rt.run_to_completion();
+  for (int r = 0; r < 8; ++r) EXPECT_EQ(seen[static_cast<std::size_t>(r)], r);
+}
+
+TEST(Runtime, PlacementSpreadsOverNodes) {
+  sim::Engine e;
+  Runtime rt(e, small_config(8));  // 2 nodes -> 4 per node
+  EXPECT_EQ(rt.ranks_per_node(), 4);
+  EXPECT_EQ(rt.nodes_used(), 2);
+  EXPECT_EQ(rt.node_of(0), 0);
+  EXPECT_EQ(rt.node_of(3), 0);
+  EXPECT_EQ(rt.node_of(4), 1);
+}
+
+TEST(Runtime, BarrierSynchronizesRanks) {
+  sim::Engine e;
+  Runtime rt(e, small_config(4));
+  std::vector<sim::Time> after(4);
+  rt.spmd([&after](Thread& t) -> sim::Task<void> {
+    co_await t.compute(1e-6 * (t.rank() + 1));  // staggered work
+    co_await t.barrier();
+    after[static_cast<std::size_t>(t.rank())] = t.runtime().engine().now();
+  });
+  rt.run_to_completion();
+  for (int r = 1; r < 4; ++r) EXPECT_EQ(after[0], after[static_cast<std::size_t>(r)]);
+  EXPECT_GT(after[0], sim::from_seconds(4e-6));  // gated by slowest
+}
+
+TEST(Runtime, PutGetMovesRealData) {
+  sim::Engine e;
+  Runtime rt(e, small_config(4));
+  auto arr = rt.heap().all_alloc<int>(4, 1);  // one element per rank
+  rt.spmd([&arr](Thread& t) -> sim::Task<void> {
+    // Everyone writes to the right neighbour's element, reads the left's.
+    const int right = (t.rank() + 1) % t.threads();
+    co_await t.put(arr.at(static_cast<std::size_t>(right)), 100 + t.rank());
+    co_await t.barrier();
+    const int left = (t.rank() + t.threads() - 1) % t.threads();
+    const int got = co_await t.get(arr.at(static_cast<std::size_t>(t.rank())));
+    EXPECT_EQ(got, 100 + left);
+  });
+  rt.run_to_completion();
+}
+
+TEST(Runtime, MemputAcrossNodesCopiesAndCharges) {
+  sim::Engine e;
+  Runtime rt(e, small_config(8));
+  auto dst = rt.heap().alloc<double>(7, 1024);  // rank 7 on node 1
+  std::vector<double> src(1024);
+  std::iota(src.begin(), src.end(), 0.0);
+  rt.spmd([&](Thread& t) -> sim::Task<void> {
+    if (t.rank() == 0) {
+      co_await t.memput(dst, src.data(), src.size());
+    }
+    co_return;
+  });
+  rt.run_to_completion();
+  EXPECT_DOUBLE_EQ(dst.raw[1023], 1023.0);
+  EXPECT_EQ(rt.network().total_messages(), 1u);
+  EXPECT_GT(sim::to_seconds(e.now()), 1e-6);  // paid network time
+}
+
+TEST(Runtime, SupernodeCopySkipsNetwork) {
+  sim::Engine e;
+  Runtime rt(e, small_config(4, Backend::processes, true, 1));  // one node
+  auto dst = rt.heap().alloc<int>(3, 64);
+  std::vector<int> src(64, 42);
+  rt.spmd([&](Thread& t) -> sim::Task<void> {
+    if (t.rank() == 0) co_await t.memput(dst, src.data(), src.size());
+    co_return;
+  });
+  rt.run_to_completion();
+  EXPECT_EQ(dst.raw[63], 42);
+  EXPECT_EQ(rt.network().total_messages(), 0u);
+}
+
+TEST(Runtime, CastabilityFollowsSupernodeRules) {
+  {
+    sim::Engine e;
+    Runtime rt(e, small_config(8, Backend::processes, /*pshm=*/true));
+    rt.spmd([](Thread& t) -> sim::Task<void> {
+      if (t.rank() == 0) {
+        EXPECT_TRUE(t.castable(0));
+        EXPECT_TRUE(t.castable(3));   // same node, PSHM maps it
+        EXPECT_FALSE(t.castable(4));  // other node
+      }
+      co_return;
+    });
+    rt.run_to_completion();
+  }
+  {
+    sim::Engine e;
+    Runtime rt(e, small_config(8, Backend::processes, /*pshm=*/false));
+    rt.spmd([](Thread& t) -> sim::Task<void> {
+      if (t.rank() == 0) {
+        EXPECT_TRUE(t.castable(0));
+        EXPECT_FALSE(t.castable(3));  // no PSHM: separate address spaces
+      }
+      co_return;
+    });
+    rt.run_to_completion();
+  }
+}
+
+TEST(Runtime, CastReturnsUsableRawPointer) {
+  sim::Engine e;
+  Runtime rt(e, small_config(4, Backend::processes, true, 1));
+  auto arr = rt.heap().all_alloc<int>(4, 1);
+  rt.spmd([&arr](Thread& t) -> sim::Task<void> {
+    if (t.rank() == 1) {
+      int* p = t.cast(arr.at(2));  // neighbour's element, same node
+      EXPECT_NE(p, nullptr);       // (ASSERT_* returns; illegal in coroutines)
+      if (p != nullptr) *p = 777;
+    }
+    co_return;
+  });
+  rt.run_to_completion();
+  EXPECT_EQ(*arr.at(2).raw, 777);
+}
+
+TEST(Runtime, LoopbackSlowerThanPshm) {
+  auto timed = [](bool pshm) {
+    sim::Engine e;
+    Runtime rt(e, small_config(4, Backend::processes, pshm, 1));
+    auto dst = rt.heap().alloc<char>(3, 1 << 20);
+    static std::vector<char> src(1 << 20, 'x');
+    rt.spmd([&](Thread& t) -> sim::Task<void> {
+      if (t.rank() == 0) co_await t.memput(dst, src.data(), src.size());
+      co_return;
+    });
+    rt.run_to_completion();
+    return sim::to_seconds(e.now());
+  };
+  EXPECT_GT(timed(false), timed(true) * 1.2);
+}
+
+TEST(Runtime, PthreadsBackendSharesNodeConnection) {
+  sim::Engine e;
+  auto cfg = small_config(8, Backend::pthreads);
+  Runtime rt(e, cfg);
+  EXPECT_EQ(rt.network().mode(), net::ConnectionMode::per_node);
+  EXPECT_TRUE(rt.same_supernode(0, 3));
+}
+
+TEST(Runtime, AsyncMemputOverlapsWithCompute) {
+  sim::Engine e;
+  Runtime rt(e, small_config(8));
+  auto dst = rt.heap().alloc<char>(7, 1 << 20);
+  static std::vector<char> src(1 << 20, 'y');
+  sim::Time elapsed = 0;
+  rt.spmd([&](Thread& t) -> sim::Task<void> {
+    if (t.rank() != 0) co_return;
+    auto put = t.memput_async(dst, src.data(), src.size());
+    co_await t.compute(500e-6);  // overlap ~= transfer time
+    co_await put.wait();
+    elapsed = t.runtime().engine().now();
+  });
+  rt.run_to_completion();
+  // 1 MiB over QDR ~ 0.68 ms; with 0.5 ms of overlapped compute, the total
+  // must be far below the 1.18 ms serial sum.
+  EXPECT_LT(sim::to_seconds(elapsed), 1.0e-3);
+}
+
+TEST(Runtime, SharedLoopPaysTranslationUnlessPrivatized) {
+  auto timed = [](bool privatized) {
+    sim::Engine e;
+    Runtime rt(e, small_config(2));
+    rt.spmd([privatized](Thread& t) -> sim::Task<void> {
+      co_await t.shared_loop(t.rank() ^ 1, 1'000'000, 24.0, privatized);
+    });
+    rt.run_to_completion();
+    return sim::to_seconds(e.now());
+  };
+  const double baseline = timed(false);
+  const double cast = timed(true);
+  EXPECT_GT(baseline / cast, 3.0);  // Table 3.1: 3.2 vs 23.2 GB/s
+}
+
+TEST(GlobalLock, MutualExclusionAndCost) {
+  sim::Engine e;
+  Runtime rt(e, small_config(8));
+  gas::GlobalLock lock(rt, 0);
+  int counter = 0;
+  rt.spmd([&](Thread& t) -> sim::Task<void> {
+    for (int i = 0; i < 10; ++i) {
+      co_await lock.acquire(t);
+      const int saw = counter;
+      co_await t.compute(1e-7);
+      counter = saw + 1;  // lost updates would show without exclusion
+      co_await lock.release(t);
+    }
+  });
+  rt.run_to_completion();
+  EXPECT_EQ(counter, 80);
+}
+
+TEST(GlobalLock, RemoteAcquireCostsMoreThanLocal) {
+  auto timed = [](int locker) {
+    sim::Engine e;
+    Runtime rt(e, small_config(8));
+    gas::GlobalLock lock(rt, 0);  // home: rank 0, node 0
+    sim::Time t0 = 0;
+    rt.spmd([&, locker](Thread& t) -> sim::Task<void> {
+      if (t.rank() == locker) {
+        co_await lock.acquire(t);
+        co_await lock.release(t);
+        t0 = t.runtime().engine().now();
+      }
+      co_return;
+    });
+    rt.run_to_completion();
+    return sim::to_seconds(t0);
+  };
+  EXPECT_GT(timed(7) / timed(1), 5.0);  // cross-node RTT vs local atomic
+}
+
+TEST(GlobalLock, TryAcquireContention) {
+  sim::Engine e;
+  Runtime rt(e, small_config(2));
+  gas::GlobalLock lock(rt, 0);
+  std::vector<bool> got(2, false);
+  rt.spmd([&](Thread& t) -> sim::Task<void> {
+    if (t.rank() == 0) {
+      got[0] = co_await lock.try_acquire(t);
+      co_await t.barrier();  // hold across the peer's attempt
+      co_await t.barrier();
+      if (got[0]) co_await lock.release(t);
+    } else {
+      co_await t.barrier();
+      got[1] = co_await lock.try_acquire(t);
+      co_await t.barrier();
+      if (got[1]) co_await lock.release(t);
+    }
+  });
+  rt.run_to_completion();
+  EXPECT_TRUE(got[0]);
+  EXPECT_FALSE(got[1]);
+}
+
+}  // namespace

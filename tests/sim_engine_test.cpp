@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace {
+
+using hupc::sim::Engine;
+using hupc::sim::kMicrosecond;
+using hupc::sim::kSecond;
+using hupc::sim::Time;
+
+TEST(Engine, StartsAtZero) {
+  Engine e;
+  EXPECT_EQ(e.now(), 0);
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(Engine, ExecutesInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(30, [&] { order.push_back(3); });
+  e.schedule_at(10, [&] { order.push_back(1); });
+  e.schedule_at(20, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 30);
+}
+
+TEST(Engine, TiesBreakInSchedulingOrder) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    e.schedule_at(100, [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, PastTimesClampToNow) {
+  Engine e;
+  Time seen = -1;
+  e.schedule_at(50, [&] {
+    e.schedule_at(10, [&] { seen = e.now(); });  // in the past
+  });
+  e.run();
+  EXPECT_EQ(seen, 50);
+}
+
+TEST(Engine, NestedSchedulingFromEvents) {
+  Engine e;
+  int hits = 0;
+  e.schedule_at(1, [&] {
+    ++hits;
+    e.schedule_in(1, [&] {
+      ++hits;
+      e.schedule_in(1, [&] { ++hits; });
+    });
+  });
+  e.run();
+  EXPECT_EQ(hits, 3);
+  EXPECT_EQ(e.now(), 3);
+}
+
+TEST(Engine, RunUntilLeavesLaterEventsQueued) {
+  Engine e;
+  int hits = 0;
+  e.schedule_at(1 * kMicrosecond, [&] { ++hits; });
+  e.schedule_at(1 * kSecond, [&] { ++hits; });
+  e.run_until(kMicrosecond);
+  EXPECT_EQ(hits, 1);
+  EXPECT_EQ(e.pending(), 1u);
+  e.run();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(Engine, CountsExecutedEvents) {
+  Engine e;
+  for (int i = 0; i < 10; ++i) e.schedule_at(i, [] {});
+  e.run();
+  EXPECT_EQ(e.events_executed(), 10u);
+}
+
+TEST(Engine, StepReturnsFalseWhenEmpty) {
+  Engine e;
+  EXPECT_FALSE(e.step());
+  e.schedule_at(5, [] {});
+  EXPECT_TRUE(e.step());
+  EXPECT_FALSE(e.step());
+}
+
+TEST(Engine, NegativeDelayClampsToNow) {
+  Engine e;
+  Time at = -1;
+  e.schedule_at(10, [&] { e.schedule_in(-5, [&] { at = e.now(); }); });
+  e.run();
+  EXPECT_EQ(at, 10);
+}
+
+}  // namespace

