@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_conduit.dir/bench_ablation_conduit.cpp.o"
+  "CMakeFiles/bench_ablation_conduit.dir/bench_ablation_conduit.cpp.o.d"
+  "bench_ablation_conduit"
+  "bench_ablation_conduit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_conduit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig_3_4_ft_alltoall.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig_4_2_multilink.dir/bench_fig_4_2_multilink.cpp.o"
+  "CMakeFiles/bench_fig_4_2_multilink.dir/bench_fig_4_2_multilink.cpp.o.d"
+  "bench_fig_4_2_multilink"
+  "bench_fig_4_2_multilink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_4_2_multilink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

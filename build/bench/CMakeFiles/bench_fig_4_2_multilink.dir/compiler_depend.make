@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig_4_2_multilink.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig_4_5_ft_comm.dir/bench_fig_4_5_ft_comm.cpp.o"
+  "CMakeFiles/bench_fig_4_5_ft_comm.dir/bench_fig_4_5_ft_comm.cpp.o.d"
+  "bench_fig_4_5_ft_comm"
+  "bench_fig_4_5_ft_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_4_5_ft_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gups_groups.dir/bench_gups_groups.cpp.o"
+  "CMakeFiles/bench_gups_groups.dir/bench_gups_groups.cpp.o.d"
+  "bench_gups_groups"
+  "bench_gups_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gups_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

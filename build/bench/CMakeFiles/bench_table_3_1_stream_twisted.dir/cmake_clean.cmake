@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table_3_1_stream_twisted.dir/bench_table_3_1_stream_twisted.cpp.o"
+  "CMakeFiles/bench_table_3_1_stream_twisted.dir/bench_table_3_1_stream_twisted.cpp.o.d"
+  "bench_table_3_1_stream_twisted"
+  "bench_table_3_1_stream_twisted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_3_1_stream_twisted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table_3_2_uts_profiling.dir/bench_table_3_2_uts_profiling.cpp.o"
+  "CMakeFiles/bench_table_3_2_uts_profiling.dir/bench_table_3_2_uts_profiling.cpp.o.d"
+  "bench_table_3_2_uts_profiling"
+  "bench_table_3_2_uts_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_3_2_uts_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

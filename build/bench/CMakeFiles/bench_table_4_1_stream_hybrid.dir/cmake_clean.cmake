@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table_4_1_stream_hybrid.dir/bench_table_4_1_stream_hybrid.cpp.o"
+  "CMakeFiles/bench_table_4_1_stream_hybrid.dir/bench_table_4_1_stream_hybrid.cpp.o.d"
+  "bench_table_4_1_stream_hybrid"
+  "bench_table_4_1_stream_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_4_1_stream_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

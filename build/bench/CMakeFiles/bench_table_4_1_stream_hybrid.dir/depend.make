@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table_4_1_stream_hybrid.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft3d_solver.dir/fft3d_solver.cpp.o"
+  "CMakeFiles/fft3d_solver.dir/fft3d_solver.cpp.o.d"
+  "fft3d_solver"
+  "fft3d_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft3d_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fft3d_solver.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hupc_bench.dir/hupc_bench.cpp.o"
+  "CMakeFiles/hupc_bench.dir/hupc_bench.cpp.o.d"
+  "hupc_bench"
+  "hupc_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hupc_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hupc_bench.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matmul_summa.dir/matmul_summa.cpp.o"
+  "CMakeFiles/matmul_summa.dir/matmul_summa.cpp.o.d"
+  "matmul_summa"
+  "matmul_summa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matmul_summa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uts_search.dir/uts_search.cpp.o"
+  "CMakeFiles/uts_search.dir/uts_search.cpp.o.d"
+  "uts_search"
+  "uts_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uts_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

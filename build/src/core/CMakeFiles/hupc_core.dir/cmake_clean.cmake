@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hupc_core.dir/subthread.cpp.o"
+  "CMakeFiles/hupc_core.dir/subthread.cpp.o.d"
+  "CMakeFiles/hupc_core.dir/team.cpp.o"
+  "CMakeFiles/hupc_core.dir/team.cpp.o.d"
+  "libhupc_core.a"
+  "libhupc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hupc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

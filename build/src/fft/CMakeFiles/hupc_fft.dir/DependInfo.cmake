@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fft/ft_model.cpp" "src/fft/CMakeFiles/hupc_fft.dir/ft_model.cpp.o" "gcc" "src/fft/CMakeFiles/hupc_fft.dir/ft_model.cpp.o.d"
+  "/root/repo/src/fft/ft_real.cpp" "src/fft/CMakeFiles/hupc_fft.dir/ft_real.cpp.o" "gcc" "src/fft/CMakeFiles/hupc_fft.dir/ft_real.cpp.o.d"
+  "/root/repo/src/fft/kernel.cpp" "src/fft/CMakeFiles/hupc_fft.dir/kernel.cpp.o" "gcc" "src/fft/CMakeFiles/hupc_fft.dir/kernel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gas/CMakeFiles/hupc_gas.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hupc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpl/CMakeFiles/hupc_mpl.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hupc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hupc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hupc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/hupc_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hupc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hupc_fft.dir/ft_model.cpp.o"
+  "CMakeFiles/hupc_fft.dir/ft_model.cpp.o.d"
+  "CMakeFiles/hupc_fft.dir/ft_real.cpp.o"
+  "CMakeFiles/hupc_fft.dir/ft_real.cpp.o.d"
+  "CMakeFiles/hupc_fft.dir/kernel.cpp.o"
+  "CMakeFiles/hupc_fft.dir/kernel.cpp.o.d"
+  "libhupc_fft.a"
+  "libhupc_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hupc_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

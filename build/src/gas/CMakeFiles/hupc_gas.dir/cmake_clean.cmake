@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hupc_gas.dir/heap.cpp.o"
+  "CMakeFiles/hupc_gas.dir/heap.cpp.o.d"
+  "CMakeFiles/hupc_gas.dir/runtime.cpp.o"
+  "CMakeFiles/hupc_gas.dir/runtime.cpp.o.d"
+  "libhupc_gas.a"
+  "libhupc_gas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hupc_gas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhupc_gas.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hupc_linalg.dir/summa.cpp.o"
+  "CMakeFiles/hupc_linalg.dir/summa.cpp.o.d"
+  "libhupc_linalg.a"
+  "libhupc_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hupc_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hupc_mem.dir/memory_system.cpp.o"
+  "CMakeFiles/hupc_mem.dir/memory_system.cpp.o.d"
+  "libhupc_mem.a"
+  "libhupc_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hupc_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hupc_mpl.dir/mpi.cpp.o"
+  "CMakeFiles/hupc_mpl.dir/mpi.cpp.o.d"
+  "libhupc_mpl.a"
+  "libhupc_mpl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hupc_mpl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hupc_net.dir/network.cpp.o"
+  "CMakeFiles/hupc_net.dir/network.cpp.o.d"
+  "libhupc_net.a"
+  "libhupc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hupc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

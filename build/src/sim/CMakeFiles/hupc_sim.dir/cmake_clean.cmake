@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hupc_sim.dir/engine.cpp.o"
+  "CMakeFiles/hupc_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/hupc_sim.dir/profiler.cpp.o"
+  "CMakeFiles/hupc_sim.dir/profiler.cpp.o.d"
+  "CMakeFiles/hupc_sim.dir/resource.cpp.o"
+  "CMakeFiles/hupc_sim.dir/resource.cpp.o.d"
+  "libhupc_sim.a"
+  "libhupc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hupc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hupc_stream.dir/random_access.cpp.o"
+  "CMakeFiles/hupc_stream.dir/random_access.cpp.o.d"
+  "CMakeFiles/hupc_stream.dir/stream.cpp.o"
+  "CMakeFiles/hupc_stream.dir/stream.cpp.o.d"
+  "libhupc_stream.a"
+  "libhupc_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hupc_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hupc_topo.dir/machine.cpp.o"
+  "CMakeFiles/hupc_topo.dir/machine.cpp.o.d"
+  "CMakeFiles/hupc_topo.dir/placement.cpp.o"
+  "CMakeFiles/hupc_topo.dir/placement.cpp.o.d"
+  "libhupc_topo.a"
+  "libhupc_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hupc_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

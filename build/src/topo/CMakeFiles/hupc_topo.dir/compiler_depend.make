@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hupc_topo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hupc_util.dir/cli.cpp.o"
+  "CMakeFiles/hupc_util.dir/cli.cpp.o.d"
+  "CMakeFiles/hupc_util.dir/histogram.cpp.o"
+  "CMakeFiles/hupc_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/hupc_util.dir/table.cpp.o"
+  "CMakeFiles/hupc_util.dir/table.cpp.o.d"
+  "libhupc_util.a"
+  "libhupc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hupc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hupc_uts.dir/sha1.cpp.o"
+  "CMakeFiles/hupc_uts.dir/sha1.cpp.o.d"
+  "CMakeFiles/hupc_uts.dir/tree.cpp.o"
+  "CMakeFiles/hupc_uts.dir/tree.cpp.o.d"
+  "libhupc_uts.a"
+  "libhupc_uts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hupc_uts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

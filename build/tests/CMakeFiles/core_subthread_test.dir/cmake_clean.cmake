@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_subthread_test.dir/core_subthread_test.cpp.o"
+  "CMakeFiles/core_subthread_test.dir/core_subthread_test.cpp.o.d"
+  "core_subthread_test"
+  "core_subthread_test.pdb"
+  "core_subthread_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_subthread_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

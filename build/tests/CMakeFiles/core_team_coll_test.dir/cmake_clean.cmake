@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_team_coll_test.dir/core_team_coll_test.cpp.o"
+  "CMakeFiles/core_team_coll_test.dir/core_team_coll_test.cpp.o.d"
+  "core_team_coll_test"
+  "core_team_coll_test.pdb"
+  "core_team_coll_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_team_coll_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

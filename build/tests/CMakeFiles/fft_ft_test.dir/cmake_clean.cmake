@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft_ft_test.dir/fft_ft_test.cpp.o"
+  "CMakeFiles/fft_ft_test.dir/fft_ft_test.cpp.o.d"
+  "fft_ft_test"
+  "fft_ft_test.pdb"
+  "fft_ft_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft_ft_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft_kernel_test.dir/fft_kernel_test.cpp.o"
+  "CMakeFiles/fft_kernel_test.dir/fft_kernel_test.cpp.o.d"
+  "fft_kernel_test"
+  "fft_kernel_test.pdb"
+  "fft_kernel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gas_array2d_test.dir/gas_array2d_test.cpp.o"
+  "CMakeFiles/gas_array2d_test.dir/gas_array2d_test.cpp.o.d"
+  "gas_array2d_test"
+  "gas_array2d_test.pdb"
+  "gas_array2d_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gas_array2d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gas_collectives_test.dir/gas_collectives_test.cpp.o"
+  "CMakeFiles/gas_collectives_test.dir/gas_collectives_test.cpp.o.d"
+  "gas_collectives_test"
+  "gas_collectives_test.pdb"
+  "gas_collectives_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gas_collectives_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

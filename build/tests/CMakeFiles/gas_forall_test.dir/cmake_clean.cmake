@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gas_forall_test.dir/gas_forall_test.cpp.o"
+  "CMakeFiles/gas_forall_test.dir/gas_forall_test.cpp.o.d"
+  "gas_forall_test"
+  "gas_forall_test.pdb"
+  "gas_forall_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gas_forall_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

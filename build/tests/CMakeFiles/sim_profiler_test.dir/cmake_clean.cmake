@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_profiler_test.dir/sim_profiler_test.cpp.o"
+  "CMakeFiles/sim_profiler_test.dir/sim_profiler_test.cpp.o.d"
+  "sim_profiler_test"
+  "sim_profiler_test.pdb"
+  "sim_profiler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_profiler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_gups_test.dir/stream_gups_test.cpp.o"
+  "CMakeFiles/stream_gups_test.dir/stream_gups_test.cpp.o.d"
+  "stream_gups_test"
+  "stream_gups_test.pdb"
+  "stream_gups_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_gups_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

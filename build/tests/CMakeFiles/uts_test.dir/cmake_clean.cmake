@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uts_test.dir/uts_test.cpp.o"
+  "CMakeFiles/uts_test.dir/uts_test.cpp.o.d"
+  "uts_test"
+  "uts_test.pdb"
+  "uts_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_task_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_sync_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_resource_test[1]_include.cmake")
+include("/root/repo/build/tests/topo_test[1]_include.cmake")
+include("/root/repo/build/tests/mem_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/gas_test[1]_include.cmake")
+include("/root/repo/build/tests/gas_collectives_test[1]_include.cmake")
+include("/root/repo/build/tests/core_team_test[1]_include.cmake")
+include("/root/repo/build/tests/core_subthread_test[1]_include.cmake")
+include("/root/repo/build/tests/mpl_test[1]_include.cmake")
+include("/root/repo/build/tests/uts_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_test[1]_include.cmake")
+include("/root/repo/build/tests/fft_kernel_test[1]_include.cmake")
+include("/root/repo/build/tests/fft_ft_test[1]_include.cmake")
+include("/root/repo/build/tests/stream_test[1]_include.cmake")
+include("/root/repo/build/tests/core_team_coll_test[1]_include.cmake")
+include("/root/repo/build/tests/gas_array2d_test[1]_include.cmake")
+include("/root/repo/build/tests/gas_forall_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_profiler_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/stream_gups_test[1]_include.cmake")
+include("/root/repo/build/tests/linalg_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_cases_test[1]_include.cmake")
+include("/root/repo/build/tests/property_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/util_histogram_test[1]_include.cmake")
