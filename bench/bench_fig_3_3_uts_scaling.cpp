@@ -5,8 +5,12 @@
 // Paper shape: the optimized variants consistently beat the baseline on
 // both networks, with the largest relative gain on Ethernet (~2x at 128
 // threads); steal granularity 8 on InfiniBand, 20 on Ethernet.
+// --trace=FILE writes a chrome://tracing JSON of the final (largest,
+// local+diffusion) configuration.
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "uts_driver.hpp"
 #include "util/cli.hpp"
@@ -24,6 +28,9 @@ int main(int argc, char** argv) {
   uts::TreeParams tree = uts::paper_tree();
   if (cli.get_bool("quick", false)) tree.root_seed = 42;
   const int nodes = static_cast<int>(cli.get_int("nodes", 16));
+  const std::string trace_file = cli.get("trace", "");
+  std::unique_ptr<trace::Tracer> tracer;
+  if (!trace_file.empty()) tracer = std::make_unique<trace::Tracer>();
 
   bench::banner("Fig 3.3 — UTS scalability, 16 nodes, 3 variants x 2 networks",
                 "optimized > baseline everywhere; ~2x gain on Ethernet at "
@@ -41,9 +48,12 @@ int main(int argc, char** argv) {
       const auto local = bench::run_uts(tree, threads, nodes, conduit,
                                         bench::UtsVariant::local_steal,
                                         granularity);
+      // Only the diffusion run is traced; each run starts a fresh trace, so
+      // the exported file holds the last (largest) configuration.
+      if (tracer) tracer->clear();
       const auto diff = bench::run_uts(
           tree, threads, nodes, conduit,
-          bench::UtsVariant::local_steal_diffusion, granularity);
+          bench::UtsVariant::local_steal_diffusion, granularity, tracer.get());
       const double best = std::max(local.mnodes_per_s, diff.mnodes_per_s);
       table.add_row({std::to_string(threads),
                      util::Table::num(base.mnodes_per_s, 1),
@@ -55,5 +65,18 @@ int main(int argc, char** argv) {
   }
   std::printf("\nTree: binomial, seed %u, %s mode\n", tree.root_seed,
               cli.get_bool("quick", false) ? "quick" : "full");
+  if (tracer) {
+    std::ofstream os(trace_file);
+    tracer->export_chrome(os);
+    if (!os) {
+      std::fprintf(stderr, "error: cannot write trace to %s\n",
+                   trace_file.c_str());
+      return 1;
+    }
+    std::printf("trace: %llu events (%llu dropped) -> %s\n",
+                static_cast<unsigned long long>(tracer->recorded()),
+                static_cast<unsigned long long>(tracer->dropped()),
+                trace_file.c_str());
+  }
   return 0;
 }

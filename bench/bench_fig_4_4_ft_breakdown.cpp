@@ -6,8 +6,12 @@
 // (2 per node, when the per-flow connection cap stops binding and the NIC
 // saturates); at 128 threads the kernels gain only the SMT 5-30% and the
 // curves kink.
+// --trace=FILE writes a chrome://tracing JSON of the final (128-thread,
+// split-phase) configuration.
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "ft_driver.hpp"
 #include "util/cli.hpp"
@@ -20,6 +24,9 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const auto grid = cli.get_bool("quick", false) ? fft::FtParams::class_a()
                                                  : fft::FtParams::class_b();
+  const std::string trace_file = cli.get("trace", "");
+  std::unique_ptr<trace::Tracer> tracer;
+  if (!trace_file.empty()) tracer = std::make_unique<trace::Tracer>();
 
   bench::banner("Fig 4.4 — NAS FT per-step speedup, class B, 8 Lehman nodes",
                 "compute steps ~linear to 64; all-to-all flat past 16 "
@@ -29,9 +36,13 @@ int main(int argc, char** argv) {
   util::Table table({"Threads", "Evolve", "Transpose", "FFT 2D", "FFT 1D",
                      "All-to-all (split)", "Comm hidden by overlap"});
   for (int threads : {1, 2, 4, 8, 16, 32, 64, 128}) {
+    // Only the split-phase run is traced; each run starts fresh, so the
+    // exported file holds the last (128-thread) configuration.
+    if (tracer) tracer->clear();
     const auto split = bench::run_ft("lehman", 8, threads, 0,
                                      bench::FtExec::upc_processes, grid,
-                                     fft::CommVariant::split_phase);
+                                     fft::CommVariant::split_phase,
+                                     tracer.get());
     const auto overlap = bench::run_ft("lehman", 8, threads, 0,
                                        bench::FtExec::upc_processes, grid,
                                        fft::CommVariant::overlap);
@@ -64,5 +75,18 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
   std::printf("\n(speedup relative to 1 thread; class %s)\n", grid.name);
+  if (tracer) {
+    std::ofstream os(trace_file);
+    tracer->export_chrome(os);
+    if (!os) {
+      std::fprintf(stderr, "error: cannot write trace to %s\n",
+                   trace_file.c_str());
+      return 1;
+    }
+    std::printf("trace: %llu events (%llu dropped) -> %s\n",
+                static_cast<unsigned long long>(tracer->recorded()),
+                static_cast<unsigned long long>(tracer->dropped()),
+                trace_file.c_str());
+  }
   return 0;
 }

@@ -7,6 +7,7 @@
 #include "fft/ft_model.hpp"
 #include "gas/gas.hpp"
 #include "sim/sim.hpp"
+#include "trace/trace.hpp"
 
 namespace hupc::bench {
 
@@ -41,12 +42,14 @@ struct FtRun {
 [[nodiscard]] inline FtRun run_ft(const std::string& machine, int nodes,
                                   int upc_threads, int subs, FtExec exec,
                                   fft::FtParams grid,
-                                  fft::CommVariant variant) {
+                                  fft::CommVariant variant,
+                                  trace::Tracer* tracer = nullptr) {
   sim::Engine engine;
   gas::Backend backend = exec == FtExec::upc_pthreads
                              ? gas::Backend::pthreads
                              : gas::Backend::processes;
   auto config = make_config(machine, nodes, upc_threads, backend);
+  config.tracer = tracer;
   // The MPI library manages the node's endpoints cooperatively (tuned
   // collectives), so it does not pay the per-endpoint NIC contention the
   // independent GASNet process endpoints do.

@@ -8,6 +8,7 @@
 #include "gas/gas.hpp"
 #include "sched/work_stealing.hpp"
 #include "sim/sim.hpp"
+#include "trace/trace.hpp"
 #include "uts/tree.hpp"
 
 namespace hupc::bench {
@@ -34,13 +35,17 @@ enum class UtsVariant { baseline, local_steal, local_steal_diffusion };
 }
 
 /// One UTS run: `threads` ranks over `nodes` Pyramid nodes on `conduit`.
+/// Pass a tracer to collect a structured event trace of the run (the caller
+/// owns it; clear() between runs to keep runs separate).
 [[nodiscard]] inline UtsRun run_uts(const uts::TreeParams& tree, int threads,
                                     int nodes, const std::string& conduit,
-                                    UtsVariant variant, int granularity) {
+                                    UtsVariant variant, int granularity,
+                                    trace::Tracer* tracer = nullptr) {
   sim::Engine engine;
-  gas::Runtime rt(engine,
-                  make_config("pyramid", nodes, threads,
-                              gas::Backend::processes, conduit));
+  auto config = make_config("pyramid", nodes, threads,
+                            gas::Backend::processes, conduit);
+  config.tracer = tracer;
+  gas::Runtime rt(engine, config);
   sched::StealParams params;
   params.policy = variant == UtsVariant::baseline
                       ? sched::VictimPolicy::random

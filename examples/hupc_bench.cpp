@@ -7,6 +7,8 @@
 //                [--backend processes|pthreads] [--conduit ib-qdr|ib-ddr|gige]
 //                [--subs S]            (ft: sub-threads per UPC thread)
 //                [--variant ...]       (workload-specific, see below)
+//                [--trace=FILE]        (chrome://tracing JSON of the run)
+//                [--trace-summary=FILE] (per-category counts/time + counters)
 //
 // Variants: uts: baseline|local|diffusion; ft: split|overlap;
 //           stream: baseline|relocalize|cast|openmp; gups: naive|grouped;
@@ -14,6 +16,8 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -25,6 +29,7 @@
 #include "sim/sim.hpp"
 #include "stream/random_access.hpp"
 #include "stream/stream.hpp"
+#include "trace/trace.hpp"
 #include "util/cli.hpp"
 #include "uts/tree.hpp"
 
@@ -32,8 +37,43 @@ using namespace hupc;  // NOLINT
 
 namespace {
 
-gas::Config build_config(const util::Cli& cli) {
+std::unique_ptr<trace::Tracer> make_tracer(const util::Cli& cli) {
+  if (cli.get("trace", "").empty() && cli.get("trace-summary", "").empty()) {
+    return nullptr;
+  }
+  return std::make_unique<trace::Tracer>();
+}
+
+int export_trace(const util::Cli& cli, const trace::Tracer* tracer) {
+  if (!tracer) return 0;
+  if (const std::string file = cli.get("trace", ""); !file.empty()) {
+    std::ofstream os(file);
+    tracer->export_chrome(os);
+    if (!os) {
+      std::fprintf(stderr, "error: cannot write trace to %s\n", file.c_str());
+      return 1;
+    }
+    std::printf("-- trace: %llu events (%llu dropped) -> %s\n",
+                static_cast<unsigned long long>(tracer->recorded()),
+                static_cast<unsigned long long>(tracer->dropped()),
+                file.c_str());
+  }
+  if (const std::string file = cli.get("trace-summary", ""); !file.empty()) {
+    std::ofstream os(file);
+    tracer->export_summary(os);
+    if (!os) {
+      std::fprintf(stderr, "error: cannot write trace summary to %s\n",
+                   file.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+gas::Config build_config(const util::Cli& cli,
+                         trace::Tracer* tracer = nullptr) {
   gas::Config config;
+  config.tracer = tracer;
   const std::string machine = cli.get("machine", "lehman");
   const int nodes = static_cast<int>(cli.get_int("nodes", 4));
   config.machine = machine == "pyramid" ? topo::pyramid(nodes)
@@ -62,7 +102,8 @@ void footer(const sim::Engine& engine, const gas::Runtime& rt) {
 
 int run_uts(const util::Cli& cli) {
   sim::Engine engine;
-  gas::Runtime rt(engine, build_config(cli));
+  auto tracer = make_tracer(cli);
+  gas::Runtime rt(engine, build_config(cli, tracer.get()));
   uts::TreeParams tree;
   tree.root_seed = static_cast<std::uint32_t>(cli.get_int("seed", 42));
   const std::string variant = cli.get("variant", "diffusion");
@@ -84,12 +125,13 @@ int run_uts(const util::Cli& cli) {
                   sim::to_seconds(engine.now()) / 1e6,
               ws.local_steal_ratio() * 100.0);
   footer(engine, rt);
-  return 0;
+  return export_trace(cli, tracer.get());
 }
 
 int run_ft(const util::Cli& cli) {
   sim::Engine engine;
-  gas::Runtime rt(engine, build_config(cli));
+  auto tracer = make_tracer(cli);
+  gas::Runtime rt(engine, build_config(cli, tracer.get()));
   fft::FtConfig fc;
   const std::string cls = cli.get("class", "A");
   fc.grid = cls == "B"   ? fft::FtParams::class_b()
@@ -108,12 +150,13 @@ int run_ft(const util::Cli& cli) {
               fc.grid.name, cli.get("variant", "split").c_str(), fc.subs,
               m.total, m.evolve, m.fft2d, m.transpose, m.comm, m.fft1d);
   footer(engine, rt);
-  return 0;
+  return export_trace(cli, tracer.get());
 }
 
 int run_stream(const util::Cli& cli) {
   sim::Engine engine;
-  auto config = build_config(cli);
+  auto tracer = make_tracer(cli);
+  auto config = build_config(cli, tracer.get());
   config.machine = topo::lehman(1);  // single-node study
   gas::Runtime rt(engine, config);
   const std::string variant = cli.get("variant", "cast");
@@ -126,12 +169,13 @@ int run_stream(const util::Cli& cli) {
   std::printf("stream[twisted %s]: %.1f GB/s\n", variant.c_str(),
               r.gbytes_per_s);
   footer(engine, rt);
-  return 0;
+  return export_trace(cli, tracer.get());
 }
 
 int run_gups(const util::Cli& cli) {
   sim::Engine engine;
-  gas::Runtime rt(engine, build_config(cli));
+  auto tracer = make_tracer(cli);
+  gas::Runtime rt(engine, build_config(cli, tracer.get()));
   stream::RandomAccess ra(rt, static_cast<int>(cli.get_int("log2-table", 16)));
   const bool grouped = cli.get("variant", "grouped") == "grouped";
   const auto r = ra.run(grouped ? stream::GupsVariant::grouped
@@ -144,12 +188,13 @@ int run_gups(const util::Cli& cli) {
                   static_cast<double>(r.updates),
               ra.verify() ? "" : "[table changed as expected after 1 pass]");
   footer(engine, rt);
-  return 0;
+  return export_trace(cli, tracer.get());
 }
 
 int run_summa(const util::Cli& cli) {
   sim::Engine engine;
-  auto config = build_config(cli);
+  auto tracer = make_tracer(cli);
+  auto config = build_config(cli, tracer.get());
   const int p = static_cast<int>(
       std::lround(std::sqrt(static_cast<double>(config.threads))));
   if (p * p != config.threads) {
@@ -168,12 +213,12 @@ int run_summa(const util::Cli& cli) {
   std::printf("summa[%zu^3 on %dx%d]: %.2f GF/s effective\n", size, p, p,
               flops / sim::to_seconds(engine.now()) / 1e9);
   footer(engine, rt);
-  return 0;
+  return export_trace(cli, tracer.get());
 }
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   const util::Cli cli(argc, argv);
   const std::string workload = cli.get("workload", "");
   if (workload == "uts") return run_uts(cli);
@@ -186,4 +231,9 @@ int main(int argc, char** argv) {
               "                  [--backend processes|pthreads] "
               "[--conduit ib-qdr|ib-ddr|gige] [--variant ...]\n");
   return workload.empty() ? 0 : 1;
+} catch (const std::exception& e) {
+  // Config validation (bad --threads/--nodes/...) throws std::invalid_argument;
+  // surface it as a clean CLI error instead of std::terminate.
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
 }

@@ -5,13 +5,19 @@
 // against the sequential enumeration.
 //
 //   ./uts_search [--threads N] [--nodes M] [--seed S] [--conduit gige|ib-ddr]
+//               [--trace=FILE]       chrome://tracing JSON of the final run
+//               [--trace-summary=FILE]  per-category counts/time + counters
 #include <cstdio>
+#include <exception>
+#include <fstream>
+#include <memory>
 #include <vector>
 
 #include "gas/gas.hpp"
 #include "net/conduit.hpp"
 #include "sched/work_stealing.hpp"
 #include "sim/sim.hpp"
+#include "trace/trace.hpp"
 #include "util/cli.hpp"
 #include "uts/tree.hpp"
 
@@ -26,12 +32,14 @@ struct RunResult {
 };
 
 RunResult explore(const uts::TreeParams& tree, int threads, int nodes,
-                  const std::string& conduit, bool optimized) {
+                  const std::string& conduit, bool optimized,
+                  trace::Tracer* tracer) {
   sim::Engine engine;
   gas::Config config;
   config.machine = topo::pyramid(nodes);
   config.threads = threads;
   config.conduit = conduit == "gige" ? net::gige() : net::ib_ddr();
+  config.tracer = tracer;
   gas::Runtime rt(engine, config);
 
   sched::StealParams params;
@@ -54,7 +62,7 @@ RunResult explore(const uts::TreeParams& tree, int threads, int nodes,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   const util::Cli cli(argc, argv);
   uts::TreeParams tree;
   tree.root_seed = static_cast<std::uint32_t>(cli.get_int("seed", 42));
@@ -69,8 +77,19 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(oracle.nodes),
               static_cast<unsigned long long>(oracle.leaves), oracle.max_depth);
 
+  const std::string trace_file = cli.get("trace", "");
+  const std::string summary_file = cli.get("trace-summary", "");
+  std::unique_ptr<trace::Tracer> tracer;
+  if (!trace_file.empty() || !summary_file.empty()) {
+    tracer = std::make_unique<trace::Tracer>();
+  }
+
   for (const bool optimized : {false, true}) {
-    const auto r = explore(tree, threads, nodes, conduit, optimized);
+    // Each configuration starts a fresh trace; the exported file holds the
+    // final (optimized) run.
+    if (tracer) tracer->clear();
+    const auto r = explore(tree, threads, nodes, conduit, optimized,
+                           tracer.get());
     std::printf("%-28s %8.2f ms  %6.1f Mnodes/s  local steals %5.1f%%  %s\n",
                 optimized ? "local-first + diffusion:" : "random baseline:",
                 r.seconds * 1e3,
@@ -79,5 +98,32 @@ int main(int argc, char** argv) {
                 r.nodes == oracle.nodes ? "[verified]" : "[MISMATCH!]");
     if (r.nodes != oracle.nodes) return 1;
   }
+  if (tracer && !trace_file.empty()) {
+    std::ofstream os(trace_file);
+    tracer->export_chrome(os);
+    if (!os) {
+      std::fprintf(stderr, "error: cannot write trace to %s\n",
+                   trace_file.c_str());
+      return 1;
+    }
+    std::printf("trace: %llu events (%llu dropped) -> %s\n",
+                static_cast<unsigned long long>(tracer->recorded()),
+                static_cast<unsigned long long>(tracer->dropped()),
+                trace_file.c_str());
+  }
+  if (tracer && !summary_file.empty()) {
+    std::ofstream os(summary_file);
+    tracer->export_summary(os);
+    if (!os) {
+      std::fprintf(stderr, "error: cannot write trace summary to %s\n",
+                   summary_file.c_str());
+      return 1;
+    }
+  }
   return 0;
+} catch (const std::exception& e) {
+  // Config validation (bad --threads/--nodes/...) throws std::invalid_argument;
+  // surface it as a clean CLI error instead of std::terminate.
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
 }

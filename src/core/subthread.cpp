@@ -1,7 +1,9 @@
 #include "core/subthread.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include <stdexcept>
+
+#include "trace/trace.hpp"
 
 namespace hupc::core {
 
@@ -29,7 +31,10 @@ SubPool::SubPool(gas::Thread& master, int width, SubModel model,
       model_(model),
       params_(params_for(model)),
       safety_(safety) {
-  assert(width >= 1);
+  if (width < 1) {
+    throw std::invalid_argument("SubPool: width must be >= 1 (got " +
+                                std::to_string(width) + ")");
+  }
   auto& rt = master.runtime();
   serialize_gate_ = std::make_unique<sim::Mutex>(rt.engine());
   contexts_.reserve(static_cast<std::size_t>(width));
@@ -59,6 +64,12 @@ sim::Task<void> SubPool::region_prologue() {
 
 sim::Task<void> SubPool::parallel_for(std::size_t n, Schedule schedule,
                                       ForBody body, std::size_t chunk) {
+  // Region fork at B, implicit join at E (scope exit after the joins).
+  HUPC_TRACE_SCOPE(master_->runtime().tracer(), trace::Category::core,
+                   "region", master_->rank(), n,
+                   static_cast<std::uint64_t>(width()));
+  HUPC_TRACE_COUNT(master_->runtime().tracer(), "core.region",
+                   master_->rank());
   co_await region_prologue();
   if (n == 0) co_return;
   live_bodies_.push_back(std::move(body));
@@ -84,6 +95,8 @@ sim::Task<void> SubPool::parallel_for(std::size_t n, Schedule schedule,
         workers.push_back(sim::spawn(
             engine, [](SubContext& c, const ForBody& f, std::size_t a,
                        std::size_t b, double oh) -> sim::Task<void> {
+              HUPC_TRACE_COUNT(c.master().runtime().tracer(), "core.task",
+                               c.master().rank());
               co_await sim::delay(c.master().runtime().engine(),
                                   sim::from_seconds(oh));
               co_await f(c, a, b);
@@ -110,6 +123,8 @@ sim::Task<void> SubPool::parallel_for(std::size_t n, Schedule schedule,
                 }
                 const std::size_t hi = std::min(total, lo + len);
                 *nx = hi;
+                HUPC_TRACE_COUNT(c.master().runtime().tracer(), "core.task",
+                                 c.master().rank());
                 co_await sim::delay(eng, sim::from_seconds(oh));
                 co_await f(c, lo, hi);
               }
@@ -123,6 +138,13 @@ sim::Task<void> SubPool::parallel_for(std::size_t n, Schedule schedule,
 }
 
 sim::Task<void> SubPool::spawn_all(std::vector<TaskFn> tasks) {
+  HUPC_TRACE_SCOPE(master_->runtime().tracer(), trace::Category::core,
+                   "region.spawn_all", master_->rank(), tasks.size(),
+                   static_cast<std::uint64_t>(width()));
+  HUPC_TRACE_COUNT(master_->runtime().tracer(), "core.region",
+                   master_->rank());
+  HUPC_TRACE_COUNT(master_->runtime().tracer(), "core.task", master_->rank(),
+                   tasks.size());
   co_await region_prologue();
   if (tasks.empty()) co_return;
   live_tasks_.push_back(std::move(tasks));

@@ -20,18 +20,23 @@ class GlobalLock {
 
   /// upc_lock: pay the access cost, then queue FIFO on the lock.
   [[nodiscard]] sim::Task<void> acquire(Thread& self) {
+    HUPC_TRACE_SCOPE(rt_->tracer(), trace::Category::gas, "lock", self.rank(),
+                     static_cast<std::uint64_t>(home_));
+    HUPC_TRACE_COUNT(rt_->tracer(), "gas.lock.acquire", self.rank());
     co_await access_cost(self);
     co_await mutex_.lock();
   }
 
   /// upc_lock_attempt: non-blocking; pays the access cost either way.
   [[nodiscard]] sim::Task<bool> try_acquire(Thread& self) {
+    HUPC_TRACE_COUNT(rt_->tracer(), "gas.lock.attempt", self.rank());
     co_await access_cost(self);
     co_return mutex_.try_lock();
   }
 
   /// upc_unlock. The release message to a remote home is fire-and-forget.
   [[nodiscard]] sim::Task<void> release(Thread& self) {
+    HUPC_TRACE_COUNT(rt_->tracer(), "gas.lock.release", self.rank());
     co_await sim::delay(self.runtime().engine(),
                         sim::from_seconds(rt_->config().costs.lock_local_s));
     mutex_.unlock();

@@ -37,9 +37,48 @@ net::ConduitSpec effective_conduit(const Config& config, int ranks_per_node) {
 
 }  // namespace
 
+Config validated(Config config) {
+  const auto& m = config.machine;
+  if (config.threads < 1) {
+    throw std::invalid_argument("gas::Config: threads must be >= 1 (got " +
+                                std::to_string(config.threads) + ")");
+  }
+  if (m.nodes < 1 || m.sockets_per_node < 1 || m.cores_per_socket < 1 ||
+      m.smt_per_core < 1) {
+    throw std::invalid_argument(
+        "gas::Config: machine shape must have >= 1 node/socket/core/smt "
+        "(got " + std::to_string(m.nodes) + "/" +
+        std::to_string(m.sockets_per_node) + "/" +
+        std::to_string(m.cores_per_socket) + "/" +
+        std::to_string(m.smt_per_core) + ")");
+  }
+  const auto& c = config.costs;
+  const struct { const char* name; double value; } costs[] = {
+      {"ptr_overhead_s", c.ptr_overhead_s},
+      {"shm_copy_overhead_s", c.shm_copy_overhead_s},
+      {"loopback_bw", c.loopback_bw},
+      {"loopback_overhead_s", c.loopback_overhead_s},
+      {"barrier_hop_s", c.barrier_hop_s},
+      {"lock_local_s", c.lock_local_s},
+  };
+  for (const auto& [name, value] : costs) {
+    if (value < 0.0) {
+      throw std::invalid_argument(std::string("gas::Config: CostParams.") +
+                                  name + " must be >= 0 (got " +
+                                  std::to_string(value) + ")");
+    }
+  }
+  if (config.conduit.stage_bw <= 0.0 || config.conduit.conn_bw <= 0.0 ||
+      config.conduit.nic_bw <= 0.0) {
+    throw std::invalid_argument(
+        "gas::Config: conduit bandwidths must be > 0");
+  }
+  return config;
+}
+
 Runtime::Runtime(sim::Engine& engine, Config config)
     : engine_(&engine),
-      config_(std::move(config)),
+      config_(validated(std::move(config))),
       placement_(topo::place_ranks(config_.machine, config_.threads,
                                    config_.placement)),
       ranks_per_node_((config_.threads + config_.machine.nodes - 1) /
@@ -52,14 +91,22 @@ Runtime::Runtime(sim::Engine& engine, Config config)
                connection_mode(config_.backend), ranks_per_node_),
       heap_(config_.threads),
       barrier_(engine, config_.threads) {
-  if (config_.threads < 1) {
-    throw std::invalid_argument("Runtime: threads must be >= 1");
-  }
   threads_.reserve(static_cast<std::size_t>(config_.threads));
   for (int r = 0; r < config_.threads; ++r) {
     slots_.bind(placement_[static_cast<std::size_t>(r)]);
     threads_.push_back(std::make_unique<Thread>(
         *this, r, placement_[static_cast<std::size_t>(r)]));
+  }
+  if (trace::Tracer* tr = config_.tracer) {
+    tr->set_clock([eng = engine_] {
+      return static_cast<trace::VTime>(eng->now());
+    });
+    std::vector<int> nodes;
+    nodes.reserve(placement_.size());
+    for (const auto& loc : placement_) nodes.push_back(loc.node);
+    tr->set_rank_nodes(std::move(nodes));
+    engine_->set_tracer(tr);
+    network_.set_tracer(tr);
   }
 }
 
@@ -111,6 +158,8 @@ sim::Time Runtime::barrier_cost() const {
 int Thread::threads() const noexcept { return rt_->threads(); }
 
 sim::Task<void> Thread::barrier() {
+  HUPC_TRACE_SCOPE(rt_->tracer(), trace::Category::gas, "barrier", rank_);
+  HUPC_TRACE_COUNT(rt_->tracer(), "gas.barrier", rank_);
   co_await rt_->barrier_.arrive_and_wait();
   co_await sim::delay(rt_->engine(), rt_->barrier_cost());
 }
@@ -122,6 +171,8 @@ std::uint64_t Thread::notify() {
 }
 
 sim::Task<void> Thread::wait(std::uint64_t token) {
+  HUPC_TRACE_SCOPE(rt_->tracer(), trace::Category::gas, "barrier.wait", rank_,
+                   token);
   co_await rt_->barrier_.wait_phase(token);
   co_await sim::delay(rt_->engine(), rt_->barrier_cost());
 }
@@ -151,6 +202,12 @@ sim::Task<void> Thread::stream_from(int home_rank, double bytes) {
 
 sim::Task<void> Thread::shared_loop(int home_rank, std::uint64_t count,
                                     double bytes_each, bool privatized) {
+  HUPC_TRACE_SCOPE(rt_->tracer(), trace::Category::gas, "shared_loop", rank_,
+                   count, static_cast<std::uint64_t>(home_rank));
+  HUPC_TRACE_COUNT(rt_->tracer(),
+                   privatized ? "gas.access.privatized"
+                              : "gas.access.translated",
+                   rank_, count);
   // CPU side: the translation overhead is serial work on this core.
   if (!privatized) {
     const double cpu = static_cast<double>(count) * rt_->config().costs.ptr_overhead_s;
@@ -172,6 +229,9 @@ sim::Future<> Thread::start_async(sim::Task<void> op) {
 }
 
 sim::Task<void> Thread::element_access(int owner, std::size_t bytes) {
+  HUPC_TRACE_INSTANT(rt_->tracer(), trace::Category::gas, "element", rank_,
+                     bytes, static_cast<std::uint64_t>(owner));
+  HUPC_TRACE_COUNT(rt_->tracer(), "gas.access.translated", rank_);
   // Translation overhead always applies to un-cast shared accesses.
   co_await compute(rt_->config().costs.ptr_overhead_s);
   const topo::HwLoc home = rt_->loc_of(owner);
@@ -190,6 +250,8 @@ sim::Task<void> Thread::copy_raw_from(topo::HwLoc at, int peer, void* dst,
     std::memcpy(dst, src, bytes);  // the real data moves unconditionally
   }
   if (bytes == 0) co_return;
+  HUPC_TRACE_SCOPE(rt_->tracer(), trace::Category::gas, "copy", rank_, bytes,
+                   static_cast<std::uint64_t>(peer));
   const double b = static_cast<double>(bytes);
   const topo::HwLoc peer_loc = rt_->loc_of(peer);
   const auto& costs = rt_->config().costs;
@@ -197,6 +259,7 @@ sim::Task<void> Thread::copy_raw_from(topo::HwLoc at, int peer, void* dst,
   if (peer == rank_ || rt_->same_supernode(rank_, peer)) {
     // Plain load/store path: per-call software overhead + both memory
     // systems carry the bytes (read side and write side).
+    HUPC_TRACE_COUNT(rt_->tracer(), "gas.copy.shm", rank_);
     co_await sim::delay(rt_->engine(),
                         sim::from_seconds(costs.shm_copy_overhead_s));
     auto read_leg = rt_->memory().stream_async(at, at, b);
@@ -208,6 +271,7 @@ sim::Task<void> Thread::copy_raw_from(topo::HwLoc at, int peer, void* dst,
     // through the network stack (contending with real traffic) and with
     // TWICE the memory traffic of a direct copy (bounce-buffer staging on
     // both sides). PSHM's whole point is eliminating this.
+    HUPC_TRACE_COUNT(rt_->tracer(), "gas.copy.loopback", rank_);
     co_await sim::delay(rt_->engine(),
                         sim::from_seconds(costs.loopback_overhead_s));
     auto src_mem = rt_->memory().stream_async(at, at, 2.0 * b);
@@ -217,6 +281,7 @@ sim::Task<void> Thread::copy_raw_from(topo::HwLoc at, int peer, void* dst,
     co_await src_mem.wait();
     co_await dst_mem.wait();
   } else {
+    HUPC_TRACE_COUNT(rt_->tracer(), "gas.copy.rma", rank_);
     co_await rt_->network().rma(at.node, rank_ % rt_->ranks_per_node(),
                                 peer_loc.node, b);
   }

@@ -29,6 +29,7 @@
 #include "sim/sim.hpp"
 #include "topo/machine.hpp"
 #include "topo/placement.hpp"
+#include "trace/trace.hpp"
 
 namespace hupc::gas {
 
@@ -69,7 +70,19 @@ struct Config {
   /// A tuned communication library that manages the node's endpoints
   /// cooperatively (the MPI baseline) overrides this with 1.0.
   double nic_efficiency = 0.0;
+  /// Optional structured tracer (non-owning). When set, the Runtime wires
+  /// it to the engine's virtual clock and the rank->node topology, and all
+  /// instrumented layers (engine, gas, net, sched, core) record into it.
+  /// Null disables tracing at runtime; building with HUPC_TRACE=0 compiles
+  /// the instrumentation out entirely.
+  trace::Tracer* tracer = nullptr;
 };
+
+/// Validate `config`, throwing std::invalid_argument with a precise message
+/// on nonsense (threads < 1, degenerate machine shape, negative cost
+/// constants) instead of letting an assert fire deep inside the runtime.
+/// Returns the config unchanged on success.
+[[nodiscard]] Config validated(Config config);
 
 class Runtime;
 
@@ -252,6 +265,7 @@ class Runtime {
 
   // --- subsystems --------------------------------------------------------
   [[nodiscard]] sim::Engine& engine() noexcept { return *engine_; }
+  [[nodiscard]] trace::Tracer* tracer() const noexcept { return config_.tracer; }
   [[nodiscard]] SharedHeap& heap() noexcept { return heap_; }
   [[nodiscard]] mem::MemorySystem& memory() noexcept { return memory_; }
   [[nodiscard]] net::Network& network() noexcept { return network_; }

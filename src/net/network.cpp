@@ -47,6 +47,16 @@ sim::Task<void> Network::rma(int src_node, int src_ep, int dst_node,
                              double bytes, double api_scale) {
   assert(src_node != dst_node &&
          "intra-node traffic takes the shared-memory path in hupc::gas");
+  const int rank = trace_rank(src_node, src_ep);
+  HUPC_TRACE_SCOPE(tracer_, trace::Category::net, "rma", rank,
+                   static_cast<std::uint64_t>(bytes),
+                   static_cast<std::uint64_t>(dst_node));
+  HUPC_TRACE_INSTANT(tracer_, trace::Category::net, "inject", rank,
+                     static_cast<std::uint64_t>(bytes),
+                     static_cast<std::uint64_t>(dst_node));
+  HUPC_TRACE_COUNT(tracer_, "net.msg", rank);
+  HUPC_TRACE_COUNT(tracer_, "net.bytes", rank,
+                   static_cast<std::uint64_t>(bytes));
   auto& src_counters = counters_[static_cast<std::size_t>(src_node)];
   ++src_counters.messages;
   src_counters.bytes += bytes;
@@ -57,8 +67,13 @@ sim::Task<void> Network::rma(int src_node, int src_ep, int dst_node,
   const double api = mode_ == ConnectionMode::per_process
                          ? conduit_.api_overhead_process_s
                          : conduit_.api_overhead_shared_s;
-  co_await api_queues_[static_cast<std::size_t>(src_node)]->serve(
-      sim::from_seconds(api * api_scale));
+  {
+    // Queue wait + service on the node's software path: the per-connection
+    // queueing the thesis blames for pthreads' small-message gap.
+    HUPC_TRACE_SCOPE(tracer_, trace::Category::net, "api_queue", rank);
+    co_await api_queues_[static_cast<std::size_t>(src_node)]->serve(
+        sim::from_seconds(api * api_scale));
+  }
 
   // Injection: the connection is held for the send overhead plus the
   // staging copy; the wire legs start as soon as staging begins (pipelined),
@@ -90,15 +105,26 @@ sim::Task<void> Network::rma(int src_node, int src_ep, int dst_node,
   co_await sim::delay(
       *engine_,
       sim::from_seconds(conduit_.latency_s + conduit_.recv_overhead_s));
+  HUPC_TRACE_INSTANT(tracer_, trace::Category::net, "deliver", rank,
+                     static_cast<std::uint64_t>(bytes),
+                     static_cast<std::uint64_t>(dst_node));
+  HUPC_TRACE_COUNT(tracer_, "net.delivered", rank);
 }
 
 sim::Task<void> Network::loopback(int node, int src_ep, double bytes,
                                   double loopback_bw) {
+  const int rank = trace_rank(node, src_ep);
+  HUPC_TRACE_SCOPE(tracer_, trace::Category::net, "loopback", rank,
+                   static_cast<std::uint64_t>(bytes));
+  HUPC_TRACE_COUNT(tracer_, "net.loopback", rank);
   const double api = mode_ == ConnectionMode::per_process
                          ? conduit_.api_overhead_process_s
                          : conduit_.api_overhead_shared_s;
-  co_await api_queues_[static_cast<std::size_t>(node)]->serve(
-      sim::from_seconds(api));
+  {
+    HUPC_TRACE_SCOPE(tracer_, trace::Category::net, "api_queue", rank);
+    co_await api_queues_[static_cast<std::size_t>(node)]->serve(
+        sim::from_seconds(api));
+  }
 
   auto& endpoint = *endpoints_[static_cast<std::size_t>(
       node * endpoints_per_node_ + src_ep % endpoints_per_node_)];

@@ -20,6 +20,7 @@
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
 #include "topo/machine.hpp"
+#include "trace/trace.hpp"
 
 namespace hupc::net {
 
@@ -66,13 +67,23 @@ class Network {
     return *nics_[static_cast<std::size_t>(node)];
   }
 
+  /// Attach a tracer (non-owning, may be null): message inject/deliver
+  /// instants plus per-connection queueing scopes are recorded.
+  void set_tracer(trace::Tracer* tracer) noexcept { tracer_ = tracer; }
+
  private:
   [[nodiscard]] sim::Mutex& connection(int node, int endpoint);
+  /// Global rank the exporters attribute endpoint traffic to; exact under
+  /// the blockwise node placement every preset uses.
+  [[nodiscard]] int trace_rank(int node, int endpoint) const noexcept {
+    return node * endpoints_per_node_ + endpoint % endpoints_per_node_;
+  }
 
   sim::Engine* engine_;
   ConduitSpec conduit_;
   ConnectionMode mode_;
   int endpoints_per_node_;
+  trace::Tracer* tracer_ = nullptr;
   std::vector<std::unique_ptr<sim::FluidLink>> nics_;
   std::vector<std::unique_ptr<sim::Mutex>> connections_;
   // One per logical endpoint: a thread's wire transfers pipeline serially

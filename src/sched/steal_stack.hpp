@@ -14,6 +14,7 @@
 
 #include "gas/gas.hpp"
 #include "sim/sim.hpp"
+#include "trace/trace.hpp"
 
 namespace hupc::sched {
 
@@ -40,6 +41,7 @@ class StealStack {
   /// private portion holds at least two chunks (keeps one for itself).
   [[nodiscard]] sim::Task<void> maybe_release(gas::Thread& self) {
     if (local_.size() < 2 * static_cast<std::size_t>(chunk_)) co_return;
+    HUPC_TRACE_COUNT(rt_->tracer(), "sched.release", self.rank());
     co_await lock_.acquire(self);
     for (int i = 0; i < chunk_; ++i) {
       shared_.push_back(std::move(local_.front()));
@@ -85,6 +87,11 @@ class StealStack {
         shared_.size(), static_cast<std::size_t>(granularity));
     if (steal_half && shared_.size() >= 2 * static_cast<std::size_t>(chunk_)) {
       take = shared_.size() / 2;
+      // Rapid diffusion fired: the thief walks away with half the surplus.
+      HUPC_TRACE_INSTANT(rt_->tracer(), trace::Category::sched, "diffusion",
+                         thief.rank(), take,
+                         static_cast<std::uint64_t>(owner_));
+      HUPC_TRACE_COUNT(rt_->tracer(), "sched.diffusion.split", thief.rank());
     }
     if (take > 0) {
       // One bulk transfer for the stolen items.

@@ -28,6 +28,7 @@
 #include "gas/gas.hpp"
 #include "sched/steal_stack.hpp"
 #include "sim/sim.hpp"
+#include "trace/trace.hpp"
 #include "util/rng.hpp"
 
 namespace hupc::sched {
@@ -91,6 +92,7 @@ class WorkStealing {
     while (outstanding_ > 0) {
       // --- Working ------------------------------------------------------
       if (stack.local_count() > 0) {
+        HUPC_TRACE_SCOPE(rt_->tracer(), trace::Category::sched, "work", me);
         int done = 0;
         T item;
         while (done < params_.batch && stack.pop(item)) {
@@ -101,6 +103,8 @@ class WorkStealing {
           ++done;
         }
         stats.processed += static_cast<std::uint64_t>(done);
+        HUPC_TRACE_COUNT(rt_->tracer(), "sched.processed", me,
+                         static_cast<std::uint64_t>(done));
         co_await self.compute(params_.item_cost_s * done);
         co_await stack.maybe_release(self);
         backoff = 2 * sim::kMicrosecond;
@@ -114,9 +118,13 @@ class WorkStealing {
         continue;
       }
       if (outstanding_ <= 0) break;
+      HUPC_TRACE_COUNT(rt_->tracer(), "sched.backoff", me);
       co_await sim::delay(rt_->engine(), backoff);
       backoff = std::min<sim::Time>(backoff * 2, 100 * sim::kMicrosecond);
     }
+    HUPC_TRACE_INSTANT(rt_->tracer(), trace::Category::sched, "terminate", me,
+                       stats.processed);
+    HUPC_TRACE_COUNT(rt_->tracer(), "sched.terminated", me);
     co_return;
   }
 
@@ -169,10 +177,13 @@ class WorkStealing {
 
     std::vector<T> loot;
     for (int victim : order) {
+      const bool victim_local = rt_->node_of(victim) == rt_->node_of(me);
       auto& vstack = *stacks_[static_cast<std::size_t>(victim)];
+      HUPC_TRACE_COUNT(rt_->tracer(), "sched.steal.attempt", me);
       const std::size_t visible = co_await vstack.probe(self);
       if (visible == 0) {
         ++stats.failed_probes;
+        HUPC_TRACE_COUNT(rt_->tracer(), "sched.steal.fail", me);
         continue;
       }
       const std::size_t got =
@@ -181,7 +192,15 @@ class WorkStealing {
       if (got > 0) {
         auto& mine = *stacks_[static_cast<std::size_t>(me)];
         for (auto& item : loot) mine.push(std::move(item));
-        if (rt_->node_of(victim) == rt_->node_of(me)) {
+        // a0 = victim chosen, a1 = items stolen.
+        HUPC_TRACE_INSTANT(rt_->tracer(), trace::Category::sched, "steal", me,
+                           static_cast<std::uint64_t>(victim), got);
+        HUPC_TRACE_COUNT(rt_->tracer(), "sched.steal.success", me);
+        HUPC_TRACE_COUNT(rt_->tracer(),
+                         victim_local ? "sched.steal.local"
+                                      : "sched.steal.remote",
+                         me);
+        if (victim_local) {
           ++stats.local_steals;
         } else {
           ++stats.remote_steals;
@@ -190,6 +209,7 @@ class WorkStealing {
         co_return true;
       }
       ++stats.failed_probes;
+      HUPC_TRACE_COUNT(rt_->tracer(), "sched.steal.fail", me);
     }
     co_return false;
   }

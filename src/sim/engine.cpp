@@ -15,6 +15,11 @@ bool Engine::step() {
   queue_.pop();
   now_ = ev.at;
   ++executed_;
+  // Each dispatch resumes one logical process (a context switch in the
+  // cooperative scheduler); a0 carries the scheduling sequence number.
+  HUPC_TRACE_INSTANT(tracer_, trace::Category::engine, "dispatch",
+                     trace::kEngineRank, ev.seq, queue_.size());
+  HUPC_TRACE_COUNT(tracer_, "engine.dispatch", trace::kEngineRank);
   ev.fn();
   return true;
 }

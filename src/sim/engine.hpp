@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "sim/time.hpp"
+#include "trace/trace.hpp"
 
 namespace hupc::sim {
 
@@ -52,6 +53,12 @@ class Engine {
     return executed_;
   }
 
+  /// Attach a tracer (non-owning, may be null): every dispatched event is
+  /// recorded as an engine-category instant. Recording never charges
+  /// virtual time, so attaching a tracer cannot change a simulation.
+  void set_tracer(trace::Tracer* tracer) noexcept { tracer_ = tracer; }
+  [[nodiscard]] trace::Tracer* tracer() const noexcept { return tracer_; }
+
  private:
   struct Event {
     Time at;
@@ -68,6 +75,7 @@ class Engine {
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  trace::Tracer* tracer_ = nullptr;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
 };
 

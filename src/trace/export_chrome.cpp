@@ -1,0 +1,129 @@
+// Exporters: chrome://tracing JSON and the machine-readable summary.
+#include <algorithm>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace hupc::trace {
+
+namespace {
+
+// Names are string literals from instrumentation sites, but escape anyway
+// so a hostile literal cannot corrupt the JSON document.
+void write_escaped(std::ostream& os, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      const char* hex = "0123456789abcdef";
+      os << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
+    } else {
+      os << c;
+    }
+  }
+}
+
+void write_event(std::ostream& os, const TraceEvent& ev, int pid, int tid,
+                 const char* name, bool* first) {
+  if (!*first) os << ",\n";
+  *first = false;
+  // Chrome's ts unit is microseconds; our ticks are nanoseconds.
+  os << R"({"name":")";
+  write_escaped(os, name);
+  // ts is microseconds in the trace format; emit ns-exact fixed point.
+  const VTime ns = ev.ts < 0 ? 0 : ev.ts;
+  const VTime frac = ns % 1000;
+  os << R"(","cat":")" << to_string(ev.cat) << R"(","ph":")" << ev.phase
+     << R"(","ts":)" << ns / 1000 << '.' << static_cast<char>('0' + frac / 100)
+     << static_cast<char>('0' + (frac / 10) % 10)
+     << static_cast<char>('0' + frac % 10) << R"(,"pid":)" << pid
+     << R"(,"tid":)" << tid;
+  if (ev.phase != 'E') {
+    os << R"(,"args":{"a0":)" << ev.a0 << R"(,"a1":)" << ev.a1 << '}';
+  }
+  if (ev.phase == 'i') os << R"(,"s":"t")";
+  os << '}';
+}
+
+}  // namespace
+
+void Tracer::export_chrome(std::ostream& os) const {
+  const auto events = snapshot();
+  const int nranks = ranks();
+  // The engine lane sits one past the last rank on pid 0.
+  const int engine_tid = nranks;
+
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+
+  // A ring that wrapped may retain an E whose B was evicted, or a B whose E
+  // is still pending; balance per lane so every exported stream nests.
+  struct Open {
+    const char* name;
+    TraceEvent ev;
+  };
+  std::vector<std::vector<Open>> open(static_cast<std::size_t>(nranks) + 1);
+  VTime last_ts = 0;
+
+  for (const auto& ev : events) {
+    last_ts = std::max(last_ts, ev.ts);
+    const int tid = ev.rank < 0 ? engine_tid : ev.rank;
+    const int pid = ev.rank < 0 ? 0 : node_of(ev.rank);
+    auto& lane = open[static_cast<std::size_t>(
+        tid >= 0 && tid <= nranks ? tid : engine_tid)];
+    if (ev.phase == 'B') {
+      lane.push_back(Open{ev.name, ev});
+      write_event(os, ev, pid, tid, ev.name, &first);
+    } else if (ev.phase == 'E') {
+      if (lane.empty()) continue;  // begin fell off the ring: drop the end
+      const char* bname = lane.back().name;
+      lane.pop_back();
+      write_event(os, ev, pid, tid, bname, &first);
+    } else {
+      write_event(os, ev, pid, tid, ev.name, &first);
+    }
+  }
+  // Close any still-open begins at the last retained timestamp.
+  for (std::size_t tid = 0; tid < open.size(); ++tid) {
+    for (auto it = open[tid].rbegin(); it != open[tid].rend(); ++it) {
+      TraceEvent ev = it->ev;
+      ev.ts = last_ts;
+      ev.phase = 'E';
+      const int out_tid = static_cast<int>(tid);
+      const int pid = out_tid == engine_tid ? 0 : node_of(out_tid);
+      write_event(os, ev, pid, out_tid, it->name, &first);
+    }
+  }
+  os << "\n],\"displayTimeUnit\":\"ns\"}\n";
+}
+
+void Tracer::export_summary(std::ostream& os) const {
+  const Summary s = summary();
+  os << "trace recorded " << s.recorded << " dropped " << s.dropped << "\n";
+  for (int c = 0; c < kCategories; ++c) {
+    os << "events " << to_string(static_cast<Category>(c)) << ' '
+       << s.events[static_cast<std::size_t>(c)] << "\n";
+  }
+  // One line per (rank, category) with nonzero accumulated time; rank -1
+  // is the engine lane.
+  for (std::size_t lane = 0; lane < s.rank_time.size(); ++lane) {
+    for (int c = 0; c < kCategories; ++c) {
+      const VTime t = s.rank_time[lane][static_cast<std::size_t>(c)];
+      if (t == 0) continue;
+      os << "time " << static_cast<int>(lane) - 1 << ' '
+         << to_string(static_cast<Category>(c)) << ' ' << t << "\n";
+    }
+  }
+  for (const auto& [name, per_rank] : s.counters) {
+    for (std::size_t i = 0; i < per_rank.size(); ++i) {
+      if (per_rank[i] == 0) continue;
+      os << "counter " << name << ' ' << static_cast<int>(i) - 1 << ' '
+         << per_rank[i] << "\n";
+    }
+  }
+}
+
+}  // namespace hupc::trace

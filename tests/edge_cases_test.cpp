@@ -3,8 +3,11 @@
 // equivalence, degenerate machines, and engine stress.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "core/subthread.hpp"
 #include "gas/gas.hpp"
 #include "mpl/mpi.hpp"
 #include "sim/sim.hpp"
@@ -22,6 +25,162 @@ Config cfg(int threads, int nodes) {
   c.machine = topo::lehman(nodes);
   c.threads = threads;
   return c;
+}
+
+// Expects `make_config()` to be rejected with a message containing `needle`.
+template <class MakeConfig>
+void expect_invalid(MakeConfig make_config, const std::string& needle) {
+  try {
+    sim::Engine e;
+    Runtime rt(e, make_config());
+    FAIL() << "config accepted; expected rejection mentioning \"" << needle
+           << "\"";
+  } catch (const std::invalid_argument& err) {
+    EXPECT_NE(std::string(err.what()).find(needle), std::string::npos)
+        << "message was: " << err.what();
+  }
+}
+
+TEST(ConfigValidation, RejectsNonPositiveThreadCounts) {
+  for (const int threads : {0, -1, -64}) {
+    expect_invalid([threads] { return cfg(threads, 2); }, "threads");
+  }
+}
+
+TEST(ConfigValidation, RejectsDegenerateMachineShapes) {
+  expect_invalid(
+      [] {
+        Config c = cfg(4, 2);
+        c.machine.nodes = 0;
+        return c;
+      },
+      "machine shape");
+  expect_invalid(
+      [] {
+        Config c = cfg(4, 2);
+        c.machine.sockets_per_node = 0;
+        return c;
+      },
+      "machine shape");
+  expect_invalid(
+      [] {
+        Config c = cfg(4, 2);
+        c.machine.cores_per_socket = -3;
+        return c;
+      },
+      "machine shape");
+  expect_invalid(
+      [] {
+        Config c = cfg(4, 2);
+        c.machine.smt_per_core = 0;
+        return c;
+      },
+      "machine shape");
+}
+
+TEST(ConfigValidation, RejectsNegativeCostParams) {
+  expect_invalid(
+      [] {
+        Config c = cfg(4, 2);
+        c.costs.ptr_overhead_s = -1e-9;
+        return c;
+      },
+      "ptr_overhead_s");
+  expect_invalid(
+      [] {
+        Config c = cfg(4, 2);
+        c.costs.barrier_hop_s = -0.5;
+        return c;
+      },
+      "barrier_hop_s");
+  expect_invalid(
+      [] {
+        Config c = cfg(4, 2);
+        c.costs.lock_local_s = -1.0;
+        return c;
+      },
+      "lock_local_s");
+  expect_invalid(
+      [] {
+        Config c = cfg(4, 2);
+        c.costs.loopback_bw = -0.15e9;
+        return c;
+      },
+      "loopback_bw");
+  expect_invalid(
+      [] {
+        Config c = cfg(4, 2);
+        c.costs.shm_copy_overhead_s = -1e-7;
+        return c;
+      },
+      "shm_copy_overhead_s");
+  expect_invalid(
+      [] {
+        Config c = cfg(4, 2);
+        c.costs.loopback_overhead_s = -1e-6;
+        return c;
+      },
+      "loopback_overhead_s");
+}
+
+TEST(ConfigValidation, RejectsNonPositiveConduitBandwidths) {
+  expect_invalid(
+      [] {
+        Config c = cfg(4, 2);
+        c.conduit.nic_bw = 0.0;
+        return c;
+      },
+      "conduit");
+  expect_invalid(
+      [] {
+        Config c = cfg(4, 2);
+        c.conduit.conn_bw = -1.0;
+        return c;
+      },
+      "conduit");
+  expect_invalid(
+      [] {
+        Config c = cfg(4, 2);
+        c.conduit.stage_bw = 0.0;
+        return c;
+      },
+      "conduit");
+}
+
+TEST(ConfigValidation, AcceptsSaneConfigsUnchanged) {
+  const Config c = cfg(8, 2);
+  const Config v = gas::validated(c);
+  EXPECT_EQ(v.threads, c.threads);
+  EXPECT_EQ(v.machine.nodes, c.machine.nodes);
+  sim::Engine e;
+  Runtime rt(e, c);  // and the runtime constructor accepts it too
+  EXPECT_EQ(rt.threads(), 8);
+}
+
+TEST(ConfigValidation, SubPoolRejectsNonPositiveWidth) {
+  sim::Engine e;
+  Runtime rt(e, cfg(2, 1));
+  int checked = 0;
+  rt.spmd([&](Thread& t) -> sim::Task<void> {
+    if (t.rank() == 0) {
+      for (const int width : {0, -1}) {
+        try {
+          core::SubPool pool(t, width, core::SubModel::openmp);
+          ADD_FAILURE() << "SubPool accepted width " << width;
+        } catch (const std::invalid_argument& err) {
+          EXPECT_NE(std::string(err.what()).find("width"), std::string::npos)
+              << err.what();
+          ++checked;
+        }
+      }
+      // width 1 (master only) is the smallest legal pool.
+      core::SubPool pool(t, 1, core::SubModel::openmp);
+      EXPECT_EQ(pool.width(), 1);
+    }
+    co_return;
+  });
+  rt.run_to_completion();
+  EXPECT_EQ(checked, 2);
 }
 
 TEST(EngineStress, HundredThousandInterleavedEvents) {

@@ -8,6 +8,7 @@
 #include "sched/work_stealing.hpp"
 #include "sim/sim.hpp"
 #include "topo/placement.hpp"
+#include "trace/trace.hpp"
 #include "uts/tree.hpp"
 
 namespace {
@@ -100,31 +101,34 @@ TEST_P(BarrierSweep, NobodyCrossesBeforeEveryoneArrives) {
 INSTANTIATE_TEST_SUITE_P(Counts, BarrierSweep,
                          ::testing::Values(1, 2, 3, 7, 16, 32, 64));
 
-// --- work-stealing stats invariants over seeds/policies ------------------
+// --- work-stealing conservation over policy x diffusion x seed ------------
 
 struct WsCase {
   std::uint32_t tree_seed;
   sched::VictimPolicy policy;
+  bool rapid_diffusion;
   int threads;
 };
 
 class WsSweep : public ::testing::TestWithParam<WsCase> {};
 
-TEST_P(WsSweep, StatsAreInternallyConsistent) {
-  const auto [seed, policy, threads] = GetParam();
+TEST_P(WsSweep, ConservationAndTraceCountersAgreeWithStats) {
+  const auto [seed, policy, diffusion, threads] = GetParam();
   uts::TreeParams tree;
   tree.b0 = 200;
   tree.root_seed = seed;
   const auto oracle = uts::enumerate(tree);
 
   sim::Engine e;
+  trace::Tracer tracer;
   gas::Config c;
   c.machine = topo::lehman(4);
   c.threads = threads;
+  c.tracer = &tracer;
   gas::Runtime rt(e, c);
   sched::StealParams params;
   params.policy = policy;
-  params.rapid_diffusion = true;
+  params.rapid_diffusion = diffusion;
   sched::WorkStealing<uts::Node> ws(
       rt, params, [&tree](const uts::Node& n, std::vector<uts::Node>& out) {
         uts::expand(tree, n, out);
@@ -137,22 +141,59 @@ TEST_P(WsSweep, StatsAreInternallyConsistent) {
   EXPECT_EQ(ws.total_processed(), oracle.nodes);
   EXPECT_GE(ws.local_steal_ratio(), 0.0);
   EXPECT_LE(ws.local_steal_ratio(), 1.0);
-  std::uint64_t processed = 0;
+  std::uint64_t processed = 0, local = 0, remote = 0;
   for (int r = 0; r < threads; ++r) {
-    processed += ws.stats(r).processed;
+    const auto& s = ws.stats(r);
+    processed += s.processed;
+    local += s.local_steals;
+    remote += s.remote_steals;
     EXPECT_EQ(ws.stack(r).local_count(), 0u);
     EXPECT_EQ(ws.stack(r).shared_count(), 0u);
+    if (trace::kEnabled) {
+      // Per-rank trace counters match the scheduler's own bookkeeping.
+      EXPECT_EQ(tracer.counter("sched.processed", r), s.processed);
+      EXPECT_EQ(tracer.counter("sched.steal.local", r), s.local_steals);
+      EXPECT_EQ(tracer.counter("sched.steal.remote", r), s.remote_steals);
+      EXPECT_EQ(tracer.counter("sched.terminated", r), 1u);
+    }
   }
   EXPECT_EQ(processed, oracle.nodes);
+
+  // Trace totals agree with RankStats totals (a HUPC_TRACE=0 build
+  // compiles the counter sites out, so there is nothing to compare).
+  if (trace::kEnabled) {
+    EXPECT_EQ(tracer.counter_total("sched.processed"), oracle.nodes);
+    EXPECT_EQ(tracer.counter_total("sched.steal.success"), local + remote);
+    EXPECT_EQ(tracer.counter_total("sched.steal.local"), local);
+    EXPECT_EQ(tracer.counter_total("sched.steal.remote"), remote);
+    EXPECT_EQ(tracer.counter_total("sched.terminated"),
+              static_cast<std::uint64_t>(threads));
+    // Every successful steal was also an attempt.
+    EXPECT_GE(tracer.counter_total("sched.steal.attempt"), local + remote);
+    if (!diffusion) {
+      EXPECT_EQ(tracer.counter_total("sched.diffusion.split"), 0u);
+    }
+  }
 }
 
-INSTANTIATE_TEST_SUITE_P(
-    Sweep, WsSweep,
-    ::testing::Values(WsCase{1, sched::VictimPolicy::random, 4},
-                      WsCase{2, sched::VictimPolicy::local_first, 4},
-                      WsCase{3, sched::VictimPolicy::random, 9},
-                      WsCase{4, sched::VictimPolicy::local_first, 16},
-                      WsCase{5, sched::VictimPolicy::local_first, 25}));
+// Full cross: both policies x diffusion on/off x three seeds (thread count
+// varies with the seed to also cover uneven rank/node splits).
+std::vector<WsCase> ws_cases() {
+  std::vector<WsCase> cases;
+  const int threads_for_seed[] = {4, 9, 16};
+  for (const auto policy :
+       {sched::VictimPolicy::random, sched::VictimPolicy::local_first}) {
+    for (const bool diffusion : {false, true}) {
+      for (std::uint32_t seed = 1; seed <= 3; ++seed) {
+        cases.push_back(
+            WsCase{seed, policy, diffusion, threads_for_seed[seed - 1]});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, WsSweep, ::testing::ValuesIn(ws_cases()));
 
 // --- SharedArray layout properties over (size, block, threads) -----------
 

@@ -1,0 +1,120 @@
+// Compile-time guard for the HUPC_TRACE=0 configuration: this translation
+// unit forces the trace level to 0 (overriding any -DHUPC_TRACE from the
+// build) and proves that every HUPC_TRACE_* macro vanishes — its arguments
+// are never evaluated, nothing is recorded — and that attaching a tracer
+// never changes a simulation's virtual-time results, so a trace-disabled
+// build cannot produce different benchmark numbers.
+#ifdef HUPC_TRACE
+#undef HUPC_TRACE
+#endif
+#define HUPC_TRACE 0
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gas/gas.hpp"
+#include "sched/work_stealing.hpp"
+#include "sim/sim.hpp"
+#include "trace/trace.hpp"
+#include "uts/tree.hpp"
+
+// The compile-time switch must be visible to this TU as "off".
+static_assert(hupc::trace::kTraceLevel == 0,
+              "this test must compile with HUPC_TRACE == 0");
+static_assert(!hupc::trace::kEnabled);
+
+namespace {
+
+using namespace hupc;  // NOLINT: test-local convenience
+
+int evaluations = 0;
+
+trace::Tracer* counted_tracer(trace::Tracer* t) {
+  ++evaluations;
+  return t;
+}
+
+int counted_rank() {
+  ++evaluations;
+  return 0;
+}
+
+TEST(TraceCompileOut, MacroArgumentsAreNeverEvaluated) {
+  trace::Tracer tracer;
+  evaluations = 0;
+  HUPC_TRACE_SCOPE(counted_tracer(&tracer), trace::Category::user, "scope",
+                   counted_rank());
+  HUPC_TRACE_BEGIN(counted_tracer(&tracer), trace::Category::user, "b",
+                   counted_rank());
+  HUPC_TRACE_END(counted_tracer(&tracer), trace::Category::user, "b",
+                 counted_rank());
+  HUPC_TRACE_INSTANT(counted_tracer(&tracer), trace::Category::user, "i",
+                     counted_rank(), 1, 2);
+  HUPC_TRACE_COUNT(counted_tracer(&tracer), "c", counted_rank(), 3);
+  EXPECT_EQ(evaluations, 0) << "disabled macros must not evaluate arguments";
+  EXPECT_EQ(tracer.recorded(), 0u);
+  EXPECT_EQ(tracer.counter_total("c"), 0u);
+}
+
+TEST(TraceCompileOut, MacrosAreValidStatementsInControlFlow) {
+  // `((void)0)` must compose with unbraced if/else and comma contexts.
+  trace::Tracer tracer;
+  if (tracer.enabled())
+    HUPC_TRACE_INSTANT(&tracer, trace::Category::user, "then", 0);
+  else
+    HUPC_TRACE_INSTANT(&tracer, trace::Category::user, "else", 0);
+  for (int i = 0; i < 3; ++i) HUPC_TRACE_COUNT(&tracer, "loop", 0);
+  EXPECT_EQ(tracer.recorded(), 0u);
+  EXPECT_EQ(tracer.counter_total("loop"), 0u);
+}
+
+// The zero-cost claim that matters for benchmark integrity: virtual time
+// and results are identical with and without a tracer attached. (Library
+// code may itself be compiled with tracing enabled; recording must still
+// charge nothing.)
+struct UtsOutcome {
+  std::uint64_t nodes = 0;
+  sim::Time elapsed = 0;
+};
+
+UtsOutcome run_uts(trace::Tracer* tracer) {
+  uts::TreeParams tree;
+  tree.b0 = 200;
+  tree.root_seed = 3;
+  sim::Engine e;
+  gas::Config c;
+  c.machine = topo::lehman(2);
+  c.threads = 8;
+  c.tracer = tracer;
+  gas::Runtime rt(e, c);
+  sched::StealParams params;
+  params.policy = sched::VictimPolicy::local_first;
+  params.rapid_diffusion = true;
+  sched::WorkStealing<uts::Node> ws(
+      rt, params, [&tree](const uts::Node& n, std::vector<uts::Node>& out) {
+        uts::expand(tree, n, out);
+      });
+  ws.seed_work(0, {uts::root_node(tree)});
+  rt.spmd([&ws](gas::Thread& t) -> sim::Task<void> { co_await ws.run(t); });
+  rt.run_to_completion();
+  return {ws.total_processed(), e.now()};
+}
+
+TEST(TraceCompileOut, TracerAttachmentChangesNoBenchmarkResult) {
+  trace::Tracer tracer;
+  const auto traced = run_uts(&tracer);
+  const auto bare = run_uts(nullptr);
+  EXPECT_EQ(traced.elapsed, bare.elapsed);
+  EXPECT_EQ(traced.nodes, bare.nodes);
+}
+
+TEST(TraceCompileOut, TracerObjectStillUsableDirectly) {
+  // The Tracer class itself is not macro-gated: explicit calls work at any
+  // compile level, so tooling can always construct and export traces.
+  trace::Tracer tracer;
+  tracer.instant(trace::Category::user, "explicit", 0);
+  EXPECT_EQ(tracer.recorded(), 1u);
+}
+
+}  // namespace
