@@ -2,25 +2,36 @@
 // with machine/backend/network knobs and a per-phase profile — the
 // "driver" binary a downstream user reaches for first.
 //
-//   ./hupc_bench --workload uts|ft|stream|gups|summa
+//   ./hupc_bench --workload uts|ft|stream|gups|summa|fuzz
 //                [--machine lehman|pyramid] [--nodes N] [--threads T]
 //                [--backend processes|pthreads] [--conduit ib-qdr|ib-ddr|gige]
 //                [--subs S]            (ft: sub-threads per UPC thread)
 //                [--variant ...]       (workload-specific, see below)
 //                [--trace=FILE]        (chrome://tracing JSON of the run)
 //                [--trace-summary=FILE] (per-category counts/time + counters)
+//                [--fault-plan=NAME --fault-seed=S]
+//                                      (run under a seeded fault plan; any
+//                                       workload; see fault/plan.hpp)
 //
 // Variants: uts: baseline|local|diffusion; ft: split|overlap;
 //           stream: baseline|relocalize|cast|openmp; gups: naive|grouped;
 //           summa: (grid inferred from --threads, must be a square).
+//
+// Fuzzing: --workload fuzz [--budget N] [--fuzz-seed S] [--fuzz-test-bug]
+//          [--fuzz-verbose] sweeps N seeded fault-injection cases, shrinks
+//          any failure and prints its one-line replay command; exit status
+//          is the number of failing cases (0 = clean sweep).
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "fault/fuzzer.hpp"
+#include "fault/plan.hpp"
 #include "fft/ft_model.hpp"
 #include "gas/gas.hpp"
 #include "linalg/summa.hpp"
@@ -90,6 +101,27 @@ gas::Config build_config(const util::Cli& cli,
   return config;
 }
 
+/// `--fault-plan=NAME --fault-seed=S`: build + install a fault plan on `rt`.
+/// Must run before constructing layers that read hooks at construction time
+/// (WorkStealing, SubPool). Returns null when no plan was requested.
+std::unique_ptr<fault::FaultPlan> make_fault_plan(const util::Cli& cli,
+                                                  gas::Runtime& rt) {
+  const std::string name = cli.get("fault-plan", "");
+  if (name.empty()) return nullptr;
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("fault-seed", 1));
+  auto plan =
+      std::make_unique<fault::FaultPlan>(fault::plan_template(name, seed));
+  plan->install(rt);
+  std::printf("-- fault: %s\n", plan->params().describe().c_str());
+  return plan;
+}
+
+void fault_footer(const fault::FaultPlan* plan) {
+  if (plan == nullptr) return;
+  std::printf("-- fault: injected %llu perturbations\n",
+              static_cast<unsigned long long>(plan->stats().total()));
+}
+
 void footer(const sim::Engine& engine, const gas::Runtime& rt) {
   std::printf("-- virtual time %.3f ms | %llu events | %llu network msgs, "
               "%.1f MB\n",
@@ -104,6 +136,7 @@ int run_uts(const util::Cli& cli) {
   sim::Engine engine;
   auto tracer = make_tracer(cli);
   gas::Runtime rt(engine, build_config(cli, tracer.get()));
+  const auto plan = make_fault_plan(cli, rt);
   uts::TreeParams tree;
   tree.root_seed = static_cast<std::uint32_t>(cli.get_int("seed", 42));
   const std::string variant = cli.get("variant", "diffusion");
@@ -124,6 +157,7 @@ int run_uts(const util::Cli& cli) {
               static_cast<double>(ws.total_processed()) /
                   sim::to_seconds(engine.now()) / 1e6,
               ws.local_steal_ratio() * 100.0);
+  fault_footer(plan.get());
   footer(engine, rt);
   return export_trace(cli, tracer.get());
 }
@@ -132,6 +166,7 @@ int run_ft(const util::Cli& cli) {
   sim::Engine engine;
   auto tracer = make_tracer(cli);
   gas::Runtime rt(engine, build_config(cli, tracer.get()));
+  const auto plan = make_fault_plan(cli, rt);
   fft::FtConfig fc;
   const std::string cls = cli.get("class", "A");
   fc.grid = cls == "B"   ? fft::FtParams::class_b()
@@ -149,6 +184,7 @@ int run_ft(const util::Cli& cli) {
               "%.3f transpose %.3f comm %.3f fft1d %.3f\n",
               fc.grid.name, cli.get("variant", "split").c_str(), fc.subs,
               m.total, m.evolve, m.fft2d, m.transpose, m.comm, m.fft1d);
+  fault_footer(plan.get());
   footer(engine, rt);
   return export_trace(cli, tracer.get());
 }
@@ -159,6 +195,7 @@ int run_stream(const util::Cli& cli) {
   auto config = build_config(cli, tracer.get());
   config.machine = topo::lehman(1);  // single-node study
   gas::Runtime rt(engine, config);
+  const auto plan = make_fault_plan(cli, rt);
   const std::string variant = cli.get("variant", "cast");
   stream::TriadVariant v = stream::TriadVariant::upc_cast;
   if (variant == "baseline") v = stream::TriadVariant::upc_baseline;
@@ -168,6 +205,7 @@ int run_stream(const util::Cli& cli) {
       rt, static_cast<std::size_t>(cli.get_int("elements", 4 << 20)), v);
   std::printf("stream[twisted %s]: %.1f GB/s\n", variant.c_str(),
               r.gbytes_per_s);
+  fault_footer(plan.get());
   footer(engine, rt);
   return export_trace(cli, tracer.get());
 }
@@ -176,6 +214,7 @@ int run_gups(const util::Cli& cli) {
   sim::Engine engine;
   auto tracer = make_tracer(cli);
   gas::Runtime rt(engine, build_config(cli, tracer.get()));
+  const auto plan = make_fault_plan(cli, rt);
   stream::RandomAccess ra(rt, static_cast<int>(cli.get_int("log2-table", 16)));
   const bool grouped = cli.get("variant", "grouped") == "grouped";
   const auto r = ra.run(grouped ? stream::GupsVariant::grouped
@@ -187,6 +226,7 @@ int run_gups(const util::Cli& cli) {
               100.0 * static_cast<double>(r.local) /
                   static_cast<double>(r.updates),
               ra.verify() ? "" : "[table changed as expected after 1 pass]");
+  fault_footer(plan.get());
   footer(engine, rt);
   return export_trace(cli, tracer.get());
 }
@@ -202,6 +242,7 @@ int run_summa(const util::Cli& cli) {
     return 1;
   }
   gas::Runtime rt(engine, config);
+  const auto plan = make_fault_plan(cli, rt);
   const auto size = static_cast<std::size_t>(cli.get_int("size", 256));
   linalg::Summa summa(rt, linalg::ProcessGrid{p, p}, size, size, size);
   summa.fill(1);
@@ -212,8 +253,20 @@ int run_summa(const util::Cli& cli) {
   const double flops = 2.0 * static_cast<double>(size) * size * size;
   std::printf("summa[%zu^3 on %dx%d]: %.2f GF/s effective\n", size, p, p,
               flops / sim::to_seconds(engine.now()) / 1e9);
+  fault_footer(plan.get());
   footer(engine, rt);
   return export_trace(cli, tracer.get());
+}
+
+int run_fuzz(const util::Cli& cli) {
+  fault::FuzzOptions opt;
+  opt.base_seed = static_cast<std::uint64_t>(cli.get_int("fuzz-seed", 1));
+  opt.budget = static_cast<int>(cli.get_int("budget", 32));
+  opt.plant_split_bug = cli.get_bool("fuzz-test-bug", false);
+  opt.verbose = cli.get_bool("fuzz-verbose", false);
+  fault::Fuzzer fuzzer(opt);
+  const fault::FuzzReport report = fuzzer.run(std::cout);
+  return static_cast<int>(report.failures.size());
 }
 
 }  // namespace
@@ -226,10 +279,13 @@ int main(int argc, char** argv) try {
   if (workload == "stream") return run_stream(cli);
   if (workload == "gups") return run_gups(cli);
   if (workload == "summa") return run_summa(cli);
-  std::printf("usage: hupc_bench --workload uts|ft|stream|gups|summa "
+  if (workload == "fuzz") return run_fuzz(cli);
+  std::printf("usage: hupc_bench --workload uts|ft|stream|gups|summa|fuzz "
               "[--machine lehman|pyramid] [--nodes N] [--threads T]\n"
               "                  [--backend processes|pthreads] "
-              "[--conduit ib-qdr|ib-ddr|gige] [--variant ...]\n");
+              "[--conduit ib-qdr|ib-ddr|gige] [--variant ...]\n"
+              "                  [--fault-plan=NAME --fault-seed=S] | "
+              "--workload fuzz [--budget N] [--fuzz-seed S]\n");
   return workload.empty() ? 0 : 1;
 } catch (const std::exception& e) {
   // Config validation (bad --threads/--nodes/...) throws std::invalid_argument;

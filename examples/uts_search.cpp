@@ -7,12 +7,19 @@
 //   ./uts_search [--threads N] [--nodes M] [--seed S] [--conduit gige|ib-ddr]
 //               [--trace=FILE]       chrome://tracing JSON of the final run
 //               [--trace-summary=FILE]  per-category counts/time + counters
+//               [--fault-plan=NAME --fault-seed=S]  run under a seeded fault
+//                  plan — the parallel count must still match the oracle
+//               [--fuzz=N]           run an N-case fault-injection sweep
+//                  instead of the comparison (see fault/fuzzer.hpp)
 #include <cstdio>
 #include <exception>
 #include <fstream>
+#include <iostream>
 #include <memory>
 #include <vector>
 
+#include "fault/fuzzer.hpp"
+#include "fault/plan.hpp"
 #include "gas/gas.hpp"
 #include "net/conduit.hpp"
 #include "sched/work_stealing.hpp"
@@ -33,7 +40,7 @@ struct RunResult {
 
 RunResult explore(const uts::TreeParams& tree, int threads, int nodes,
                   const std::string& conduit, bool optimized,
-                  trace::Tracer* tracer) {
+                  trace::Tracer* tracer, const fault::PlanParams* fault_plan) {
   sim::Engine engine;
   gas::Config config;
   config.machine = topo::pyramid(nodes);
@@ -41,6 +48,12 @@ RunResult explore(const uts::TreeParams& tree, int threads, int nodes,
   config.conduit = conduit == "gige" ? net::gige() : net::ib_ddr();
   config.tracer = tracer;
   gas::Runtime rt(engine, config);
+  // Installed before WorkStealing: the steal seam is read at construction.
+  std::unique_ptr<fault::FaultPlan> plan;
+  if (fault_plan != nullptr) {
+    plan = std::make_unique<fault::FaultPlan>(*fault_plan);
+    plan->install(rt);
+  }
 
   sched::StealParams params;
   params.policy = optimized ? sched::VictimPolicy::local_first
@@ -64,6 +77,15 @@ RunResult explore(const uts::TreeParams& tree, int threads, int nodes,
 
 int main(int argc, char** argv) try {
   const util::Cli cli(argc, argv);
+  if (cli.has("fuzz")) {
+    fault::FuzzOptions opt;
+    opt.budget = static_cast<int>(cli.get_int("fuzz", 32));
+    opt.base_seed = static_cast<std::uint64_t>(cli.get_int("fault-seed", 1));
+    opt.verbose = cli.get_bool("fuzz-verbose", false);
+    fault::Fuzzer fuzzer(opt);
+    return static_cast<int>(fuzzer.run(std::cout).failures.size());
+  }
+
   uts::TreeParams tree;
   tree.root_seed = static_cast<std::uint32_t>(cli.get_int("seed", 42));
   const int threads = static_cast<int>(cli.get_int("threads", 32));
@@ -84,12 +106,20 @@ int main(int argc, char** argv) try {
     tracer = std::make_unique<trace::Tracer>();
   }
 
+  std::unique_ptr<fault::PlanParams> fault_plan;
+  if (const std::string plan_name = cli.get("fault-plan", "");
+      !plan_name.empty()) {
+    fault_plan = std::make_unique<fault::PlanParams>(fault::plan_template(
+        plan_name, static_cast<std::uint64_t>(cli.get_int("fault-seed", 1))));
+    std::printf("fault: %s\n\n", fault_plan->describe().c_str());
+  }
+
   for (const bool optimized : {false, true}) {
     // Each configuration starts a fresh trace; the exported file holds the
     // final (optimized) run.
     if (tracer) tracer->clear();
     const auto r = explore(tree, threads, nodes, conduit, optimized,
-                           tracer.get());
+                           tracer.get(), fault_plan.get());
     std::printf("%-28s %8.2f ms  %6.1f Mnodes/s  local steals %5.1f%%  %s\n",
                 optimized ? "local-first + diffusion:" : "random baseline:",
                 r.seconds * 1e3,

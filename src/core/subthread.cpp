@@ -36,6 +36,16 @@ SubPool::SubPool(gas::Thread& master, int width, SubModel model,
                                 std::to_string(width) + ")");
   }
   auto& rt = master.runtime();
+  // Fault injection: a spawn-throttle hook can clamp the pool below the
+  // requested width (slot exhaustion / a crowded node). The pool still
+  // works at the reduced width; callers observe it via width().
+  if (fault::SpawnHook* throttle = rt.fault_hooks().spawn) {
+    const int clamped = throttle->clamp_spawn_width(width);
+    if (clamped >= 1 && clamped < width) {
+      HUPC_TRACE_COUNT(rt.tracer(), "fault.spawn.throttle", master.rank());
+      width = clamped;
+    }
+  }
   serialize_gate_ = std::make_unique<sim::Mutex>(rt.engine());
   contexts_.reserve(static_cast<std::size_t>(width));
   // Context 0 runs on the master's own slot (the master *becomes* worker 0

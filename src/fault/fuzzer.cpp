@@ -1,0 +1,328 @@
+#include "fault/fuzzer.hpp"
+
+#include <functional>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fft/ft_model.hpp"
+#include "gas/runtime.hpp"
+#include "net/conduit.hpp"
+#include "sched/work_stealing.hpp"
+#include "sim/engine.hpp"
+#include "topo/machine.hpp"
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+#include "uts/tree.hpp"
+
+namespace hupc::fault {
+
+namespace {
+
+// Every fuzz workload runs on the same small footprint: 8 ranks over 2
+// Lehman nodes (4 ranks/node) — enough to exercise intra- and inter-node
+// paths while keeping a single case in the low milliseconds.
+constexpr int kFuzzThreads = 8;
+constexpr int kFuzzNodes = 2;
+
+gas::Config base_config(const CaseSpec& spec, trace::Tracer* tracer) {
+  gas::Config cfg;
+  cfg.machine = topo::lehman(kFuzzNodes);
+  cfg.threads = kFuzzThreads;
+  cfg.backend = spec.backend == "pthreads" ? gas::Backend::pthreads
+                                           : gas::Backend::processes;
+  if (spec.conduit == "ib-ddr") {
+    cfg.conduit = net::ib_ddr();
+  } else if (spec.conduit == "gige") {
+    cfg.conduit = net::gige();
+  } else {
+    cfg.conduit = net::ib_qdr();
+  }
+  cfg.tracer = tracer;
+  return cfg;
+}
+
+// Trace counters only exist when the instrumentation is compiled in; the
+// cross-checking invariants must not fire against all-zero counters in a
+// HUPC_TRACE=0 build.
+trace::Tracer* effective(trace::Tracer& tracer) {
+  return trace::kEnabled ? &tracer : nullptr;
+}
+
+void finish(CaseResult& res, const trace::Tracer& tracer,
+            const sim::Engine& engine, const FaultPlan& plan) {
+  res.virtual_time = engine.now();
+  res.injected = plan.stats().total();
+  std::ostringstream summary;
+  tracer.export_summary(summary);
+  res.summary = summary.str();
+}
+
+CaseResult run_uts(const CaseSpec& spec, const PlanParams& plan_params) {
+  CaseResult res;
+  trace::Tracer tracer(std::size_t{1} << 18);
+  sim::Engine engine;
+  gas::Runtime rt(engine, base_config(spec, &tracer));
+  FaultPlan plan(plan_params);
+  plan.install(rt);  // before WorkStealing: the steal seam is read at ctor
+
+  // Tree shape and steal policy derive from the case seed, NOT the plan, so
+  // the shrinker replays the identical workload under reduced plans.
+  util::SplitMix64 sm(spec.seed ^ 0x07155EEDULL);
+  uts::TreeParams tree;
+  tree.b0 = 40 + static_cast<int>(sm.next() % 41);  // ~200-400 node trees
+  tree.m = 8;
+  tree.q = 0.1;
+  tree.root_seed = static_cast<std::uint32_t>(sm.next() % 1024);
+  const uts::TreeStats oracle = uts::enumerate(tree);
+
+  sched::StealParams sp;
+  sp.policy = sm.next() % 2 == 0 ? sched::VictimPolicy::random
+                                 : sched::VictimPolicy::local_first;
+  sp.rapid_diffusion = true;
+  sp.granularity = 4;
+  sp.chunk = 4;
+  sp.batch = 16;
+  sp.seed = spec.seed;
+  sp.test_split_off_by_one = spec.plant_split_bug;
+  sched::WorkStealing<uts::Node> ws(
+      rt, sp, [&tree](const uts::Node& n, std::vector<uts::Node>& out) {
+        uts::expand(tree, n, out);
+      });
+  ws.seed_work(0, {uts::root_node(tree)});
+
+  rt.spmd([&ws](gas::Thread& t) { return ws.run(t); });
+  try {
+    rt.run_to_completion();
+  } catch (const std::exception& e) {
+    res.violations.push_back(std::string("uts: exception: ") + e.what());
+    finish(res, tracer, engine, plan);
+    return res;
+  }
+
+  check_steal_conservation(ws, rt.threads(), oracle.nodes, effective(tracer),
+                           res.violations);
+  check_byte_conservation(rt, res.violations);
+  check_trace_network(effective(tracer), rt, res.violations);
+  check_virtual_time(engine, res.violations);
+  finish(res, tracer, engine, plan);
+  return res;
+}
+
+CaseResult run_ft(const CaseSpec& spec, const PlanParams& plan_params) {
+  CaseResult res;
+  trace::Tracer tracer(std::size_t{1} << 18);
+  sim::Engine engine;
+  gas::Runtime rt(engine, base_config(spec, &tracer));
+  FaultPlan plan(plan_params);
+  plan.install(rt);
+
+  util::SplitMix64 sm(spec.seed ^ 0x0F75EEDFULL);
+  fft::FtConfig fc;
+  fc.grid = fft::FtParams{64, 64, 64, 2, "S"};  // class S, trimmed to 2 iters
+  fc.variant = sm.next() % 2 == 0 ? fft::CommVariant::split_phase
+                                  : fft::CommVariant::overlap;
+  fc.subs = sm.next() % 2 == 0 ? 0 : 2;  // pure UPC vs. hybrid sub-threads
+  fft::FtModel model(rt, fc);
+
+  rt.spmd([&model](gas::Thread& t) { return model.run(t); });
+  try {
+    rt.run_to_completion();
+  } catch (const std::exception& e) {
+    res.violations.push_back(std::string("ft: exception: ") + e.what());
+    finish(res, tracer, engine, plan);
+    return res;
+  }
+
+  // Phase-timing coherence: every phase non-negative and the disjoint phase
+  // measurements can never exceed the rank's wall (virtual) total.
+  for (int r = 0; r < rt.threads(); ++r) {
+    const fft::FtTimings& tm = model.timings(r);
+    const double phases[] = {tm.evolve, tm.fft2d, tm.transpose, tm.comm,
+                             tm.fft1d};
+    double sum = 0.0;
+    for (double p : phases) {
+      sum += p;
+      if (p < 0.0) {
+        res.violations.push_back("ft timings: rank " + std::to_string(r) +
+                                 " has a negative phase time");
+        break;
+      }
+    }
+    if (sum > tm.total * (1.0 + 1e-9) + 1e-12) {
+      res.violations.push_back("ft timings: rank " + std::to_string(r) +
+                               " phase sum " + std::to_string(sum) +
+                               " exceeds total " + std::to_string(tm.total));
+    }
+  }
+  check_byte_conservation(rt, res.violations);
+  check_trace_network(effective(tracer), rt, res.violations);
+  check_virtual_time(engine, res.violations);
+  finish(res, tracer, engine, plan);
+  return res;
+}
+
+CaseResult run_barrier(const CaseSpec& spec, const PlanParams& plan_params) {
+  CaseResult res;
+  trace::Tracer tracer(std::size_t{1} << 18);
+  sim::Engine engine;
+  gas::Runtime rt(engine, base_config(spec, &tracer));
+  FaultPlan plan(plan_params);
+  plan.install(rt);
+
+  util::SplitMix64 sm(spec.seed ^ 0xBA221E25ULL);
+  const int phases = 10 + static_cast<int>(sm.next() % 7);
+
+  rt.spmd([phases](gas::Thread& t) -> sim::Task<void> {
+    for (int i = 0; i < phases; ++i) {
+      // Skew the arrivals so a linearizability bug (a rank slipping past a
+      // phase) would actually have room to manifest.
+      const double skew = 1e-7 * static_cast<double>((t.rank() * 13 + i * 7) %
+                                                     23);
+      co_await t.compute(skew);
+      co_await t.barrier();
+    }
+  });
+  try {
+    rt.run_to_completion();
+  } catch (const std::exception& e) {
+    res.violations.push_back(std::string("barrier: exception: ") + e.what());
+    finish(res, tracer, engine, plan);
+    return res;
+  }
+
+  check_barrier(rt, static_cast<std::uint64_t>(phases), effective(tracer),
+                res.violations);
+  check_byte_conservation(rt, res.violations);
+  check_virtual_time(engine, res.violations);
+  finish(res, tracer, engine, plan);
+  return res;
+}
+
+}  // namespace
+
+std::string CaseSpec::replay_command() const {
+  std::string cmd = "./hupc_bench --workload fuzz --budget 1 --fuzz-seed " +
+                    std::to_string(seed);
+  if (plant_split_bug) cmd += " --fuzz-test-bug";
+  cmd += "  # equivalently: --fault-seed=" + std::to_string(seed) +
+         " --fault-plan=" + plan;
+  return cmd;
+}
+
+CaseSpec derive_case(std::uint64_t case_seed,
+                     const std::vector<std::string>& templates,
+                     bool plant_split_bug) {
+  util::SplitMix64 sm(case_seed ^ 0xF0225EEDULL);
+  CaseSpec spec;
+  spec.seed = case_seed;
+  // uts is weighted 2x: it exercises the most seams (steal + net + engine).
+  static const char* const kWorkloads[] = {"uts", "uts", "ft", "barrier"};
+  spec.workload = kWorkloads[sm.next() % 4];
+  spec.backend = sm.next() % 2 == 0 ? "processes" : "pthreads";
+  static const char* const kConduits[] = {"ib-qdr", "ib-ddr", "gige"};
+  spec.conduit = kConduits[sm.next() % 3];
+  spec.plan = templates.empty()
+                  ? "none"
+                  : templates[sm.next() % templates.size()];
+  spec.plant_split_bug = plant_split_bug && spec.workload == "uts";
+  return spec;
+}
+
+CaseResult run_case(const CaseSpec& spec, const PlanParams& plan) {
+  if (spec.workload == "ft") return run_ft(spec, plan);
+  if (spec.workload == "barrier") return run_barrier(spec, plan);
+  return run_uts(spec, plan);
+}
+
+CaseResult run_case(const CaseSpec& spec) {
+  return run_case(spec, plan_template(spec.plan, spec.seed));
+}
+
+PlanParams Fuzzer::shrink(const CaseSpec& spec, PlanParams failing) {
+  const auto still_fails = [&spec](const PlanParams& p) {
+    return !run_case(spec, p).ok();
+  };
+
+  // Pass 1: drop whole perturbation groups while the failure persists. The
+  // per-seam RNG streams are independent, so removing one group never
+  // shifts another group's decisions.
+  using Reduce = std::function<void(PlanParams&)>;
+  const Reduce group_off[] = {
+      [](PlanParams& p) { p.event_jitter_p = 0.0; },
+      [](PlanParams& p) { p.msg_delay_p = 0.0; },
+      [](PlanParams& p) { p.msg_bw_degrade_p = 0.0; },
+      [](PlanParams& p) { p.blackout_node = -1; },
+      [](PlanParams& p) { p.steal_fail_p = 0.0; },
+      [](PlanParams& p) { p.spawn_width_cap = 0; },
+      [](PlanParams& p) { p.alloc_fail_after_bytes = 0; },
+  };
+  for (const Reduce& off : group_off) {
+    PlanParams candidate = failing;
+    off(candidate);
+    if (still_fails(candidate)) failing = candidate;
+  }
+
+  // Pass 2: halve the magnitudes of whatever groups survived.
+  const Reduce halve[] = {
+      [](PlanParams& p) { p.event_jitter_p /= 2; p.event_jitter_max_s /= 2; },
+      [](PlanParams& p) { p.msg_delay_p /= 2; p.msg_delay_max_s /= 2; },
+      [](PlanParams& p) {
+        p.msg_bw_degrade_p /= 2;
+        p.msg_bw_floor += (1.0 - p.msg_bw_floor) / 2;  // milder dip
+      },
+      [](PlanParams& p) { p.blackout_duration_s /= 2; },
+      [](PlanParams& p) { p.steal_fail_p /= 2; },
+  };
+  for (int round = 0; round < 3; ++round) {
+    bool reduced = false;
+    for (const Reduce& h : halve) {
+      PlanParams candidate = failing;
+      h(candidate);
+      if (still_fails(candidate)) {
+        failing = candidate;
+        reduced = true;
+      }
+    }
+    if (!reduced) break;
+  }
+  return failing;
+}
+
+FuzzReport Fuzzer::run(std::ostream& log) {
+  FuzzReport report;
+  for (int i = 0; i < opt_.budget; ++i) {
+    const std::uint64_t seed = opt_.base_seed + static_cast<std::uint64_t>(i);
+    const CaseSpec spec =
+        derive_case(seed, opt_.templates, opt_.plant_split_bug);
+    const CaseResult res = run_case(spec);
+    ++report.cases_run;
+    if (opt_.verbose) {
+      log << "fuzz: seed=" << seed << " " << spec.workload << "/"
+          << spec.backend << "/" << spec.conduit << "/" << spec.plan
+          << (res.ok() ? " ok" : " FAIL") << " injected=" << res.injected
+          << " t=" << sim::to_seconds(res.virtual_time) << "s\n";
+    }
+    if (res.ok()) continue;
+
+    FuzzFailure failure;
+    failure.spec = spec;
+    failure.violations = res.violations;
+    failure.shrunk = shrink(spec, plan_template(spec.plan, seed));
+    log << "fuzz: FAIL seed=" << seed << " workload=" << spec.workload
+        << " backend=" << spec.backend << " conduit=" << spec.conduit
+        << " plan=" << spec.plan << "\n";
+    for (const std::string& v : failure.violations) {
+      log << "  violation: " << v << "\n";
+    }
+    log << "  shrunk:  " << failure.shrunk.describe() << "\n";
+    log << "  replay:  " << spec.replay_command() << "\n";
+    report.failures.push_back(std::move(failure));
+  }
+  log << "fuzz: " << report.cases_run << " cases, "
+      << report.failures.size() << " failure(s)\n";
+  return report;
+}
+
+}  // namespace hupc::fault

@@ -1,0 +1,110 @@
+// Simulation fuzzing driver (DESIGN.md §9).
+//
+// fault::Fuzzer sweeps seeds over (workload x backend x conduit x plan
+// template): every case is derived entirely from one 64-bit seed, runs a
+// small workload under the derived FaultPlan, and checks the registered
+// invariants. A failing case is shrunk to a minimal reproducer (disable
+// perturbation groups, then halve magnitudes, keeping only changes that
+// still fail) and reported with a one-line replay command — replaying the
+// printed seed reproduces the failure bit-identically.
+//
+// Workloads (kept small so hundreds of cases fit in a smoke budget):
+//   uts     — parallel UTS count on a tiny binomial tree vs. the sequential
+//             oracle (steal + byte conservation, trace cross-checks);
+//   ft      — NAS FT class S, 2 iterations (byte conservation, per-rank
+//             phase-timing coherence);
+//   barrier — a barrier storm with skewed arrivals (linearizability).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "fault/invariants.hpp"
+#include "fault/plan.hpp"
+#include "sim/time.hpp"
+
+namespace hupc::fault {
+
+struct FuzzOptions {
+  std::uint64_t base_seed = 1;
+  int budget = 32;  // number of seeds to sweep (case i uses base_seed + i)
+  /// Plan templates the sweep draws from. Excludes "heap-pressure" by
+  /// default: injected allocation failures are *supposed* to throw, which
+  /// is a different property than the conservation invariants checked here.
+  std::vector<std::string> templates = {"jitter",   "latency-spike",
+                                        "bw-dip",   "blackout",
+                                        "steal-storm", "mixed"};
+  /// Plant the test-only steal-split off-by-one (UTS cases only): the sweep
+  /// must then find a conservation violation — how the fuzzer's own
+  /// detection power is regression-tested.
+  bool plant_split_bug = false;
+  bool verbose = false;  // log every case, not just failures
+};
+
+/// One fully-derived fuzz case. Everything — workload, backend, conduit,
+/// template, plan magnitudes, tree shape — is a pure function of `seed`.
+struct CaseSpec {
+  std::uint64_t seed = 0;
+  std::string workload;  // "uts" | "ft" | "barrier"
+  std::string backend;   // "processes" | "pthreads"
+  std::string conduit;   // "ib-qdr" | "ib-ddr" | "gige"
+  std::string plan;      // template name
+  bool plant_split_bug = false;
+
+  /// One-line replay command for the bench driver.
+  [[nodiscard]] std::string replay_command() const;
+};
+
+struct CaseResult {
+  Violations violations;
+  sim::Time virtual_time = 0;
+  std::uint64_t injected = 0;  // InjectionStats::total() of the plan
+  std::string summary;         // trace summary export (golden determinism)
+
+  [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
+};
+
+/// Derive a case from one seed (the i-th sweep case uses base_seed + i).
+[[nodiscard]] CaseSpec derive_case(std::uint64_t case_seed,
+                                   const std::vector<std::string>& templates,
+                                   bool plant_split_bug);
+
+/// Execute one case end-to-end under an explicit plan. Deterministic: the
+/// same (spec, plan) pair always produces an identical CaseResult.
+[[nodiscard]] CaseResult run_case(const CaseSpec& spec,
+                                  const PlanParams& plan);
+
+/// Execute with the plan derived from the spec's own template + seed.
+[[nodiscard]] CaseResult run_case(const CaseSpec& spec);
+
+struct FuzzFailure {
+  CaseSpec spec;
+  Violations violations;
+  PlanParams shrunk;  // minimal plan that still reproduces the failure
+};
+
+struct FuzzReport {
+  int cases_run = 0;
+  std::vector<FuzzFailure> failures;
+
+  [[nodiscard]] bool ok() const noexcept { return failures.empty(); }
+};
+
+class Fuzzer {
+ public:
+  explicit Fuzzer(FuzzOptions options) : opt_(std::move(options)) {}
+
+  /// Sweep the seed budget; shrink and report failures to `log`.
+  [[nodiscard]] FuzzReport run(std::ostream& log);
+
+  [[nodiscard]] const FuzzOptions& options() const noexcept { return opt_; }
+
+ private:
+  [[nodiscard]] PlanParams shrink(const CaseSpec& spec, PlanParams failing);
+
+  FuzzOptions opt_;
+};
+
+}  // namespace hupc::fault

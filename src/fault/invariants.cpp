@@ -1,0 +1,85 @@
+#include "fault/invariants.hpp"
+
+#include <cmath>
+
+namespace hupc::fault {
+
+void check_byte_conservation(gas::Runtime& rt, Violations& out) {
+  auto& net = rt.network();
+  double nic_bytes = 0.0;
+  for (int n = 0; n < rt.config().machine.nodes; ++n) {
+    nic_bytes += net.nic(n).total_bytes();
+  }
+  const double counted = 2.0 * net.total_bytes();  // src + dst wire legs
+  const double tol = 1e-6 * (counted + 1.0);
+  if (std::abs(nic_bytes - counted) > tol) {
+    out.push_back("byte conservation: NIC traffic " +
+                  std::to_string(nic_bytes) + " != 2x message bytes " +
+                  std::to_string(counted));
+  }
+}
+
+void check_virtual_time(const sim::Engine& engine, Violations& out) {
+  if (engine.now() < 0) {
+    out.push_back("virtual time: final time " + std::to_string(engine.now()) +
+                  " < 0");
+  }
+  if (engine.events_executed() == 0) {
+    out.push_back("virtual time: engine dispatched no events");
+  }
+  if (!engine.empty()) {
+    out.push_back("virtual time: " + std::to_string(engine.pending()) +
+                  " events still pending after run()");
+  }
+}
+
+void check_trace_network(const trace::Tracer* tracer, gas::Runtime& rt,
+                         Violations& out) {
+  if (tracer == nullptr) return;
+  auto& net = rt.network();
+  const std::uint64_t msgs = net.total_messages();
+  const std::uint64_t traced = tracer->counter_total("net.msg");
+  if (traced != msgs) {
+    out.push_back("trace cross-check: net.msg " + std::to_string(traced) +
+                  " != network messages " + std::to_string(msgs));
+  }
+  const std::uint64_t delivered = tracer->counter_total("net.delivered");
+  if (delivered != msgs) {
+    out.push_back("trace cross-check: net.delivered " +
+                  std::to_string(delivered) + " != injected " +
+                  std::to_string(msgs) + " (message lost in flight)");
+  }
+  // The bytes counter truncates each message's byte count to an integer, so
+  // it may undercount by < 1 byte per message.
+  const double traced_bytes =
+      static_cast<double>(tracer->counter_total("net.bytes"));
+  const double actual = net.total_bytes();
+  if (traced_bytes > actual || actual - traced_bytes >
+                                   static_cast<double>(msgs) + 1.0) {
+    out.push_back("trace cross-check: net.bytes " +
+                  std::to_string(traced_bytes) + " inconsistent with " +
+                  std::to_string(actual));
+  }
+}
+
+void check_barrier(gas::Runtime& rt, std::uint64_t expected_phases,
+                   const trace::Tracer* tracer, Violations& out) {
+  const std::uint64_t phase = rt.global_barrier().phase();
+  if (phase != expected_phases) {
+    out.push_back("barrier: completed phases " + std::to_string(phase) +
+                  " != expected " + std::to_string(expected_phases));
+  }
+  if (tracer != nullptr && expected_phases > 0) {
+    // Linearizability: every rank contributed to every phase exactly once.
+    for (int r = 0; r < rt.threads(); ++r) {
+      const std::uint64_t arrived = tracer->counter("gas.barrier", r);
+      if (arrived != expected_phases) {
+        out.push_back("barrier: rank " + std::to_string(r) + " arrived " +
+                      std::to_string(arrived) + " times, expected " +
+                      std::to_string(expected_phases));
+      }
+    }
+  }
+}
+
+}  // namespace hupc::fault

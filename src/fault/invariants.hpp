@@ -1,0 +1,96 @@
+// Reusable invariant checkers registered with a fault-plan run.
+//
+// Every checker appends human-readable violation strings to a Violations
+// list; an empty list is a pass. Checkers assert properties that must
+// survive ANY legal perturbation a FaultPlan can inject — faults change
+// timing and schedules, never payloads or counts:
+//
+//   byte conservation      — every rma puts its payload on exactly two NIC
+//                            fluid links (src + dst legs), so NIC traffic
+//                            must equal 2x the per-message byte counters;
+//   steal conservation     — the work-stealing engine neither loses nor
+//                            duplicates items: processed == expected,
+//                            outstanding == 0, all stacks drained;
+//   barrier linearizability— every rank observed the same number of
+//                            completed phases;
+//   monotone virtual time  — the run ended at a non-negative time with a
+//                            sane dispatch count;
+//   trace cross-checks     — the structured-trace counters agree with the
+//                            runtime's own counters (net.msg == messages,
+//                            sched.processed == RankStats, ...).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gas/runtime.hpp"
+#include "sched/work_stealing.hpp"
+#include "sim/engine.hpp"
+#include "trace/trace.hpp"
+
+namespace hupc::fault {
+
+using Violations = std::vector<std::string>;
+
+/// NIC fluid-link traffic == 2x counted message bytes (src + dst wire legs).
+void check_byte_conservation(gas::Runtime& rt, Violations& out);
+
+/// Final virtual time >= 0 and the engine actually dispatched events.
+void check_virtual_time(const sim::Engine& engine, Violations& out);
+
+/// Trace counters vs. network counters (no-op when `tracer` is null):
+/// net.msg == net.delivered == total_messages(), net.bytes ~ total_bytes().
+void check_trace_network(const trace::Tracer* tracer, gas::Runtime& rt,
+                         Violations& out);
+
+/// Every rank completed exactly `expected_phases` barrier phases.
+void check_barrier(gas::Runtime& rt, std::uint64_t expected_phases,
+                   const trace::Tracer* tracer, Violations& out);
+
+/// Work conservation for a finished WorkStealing run: processed ==
+/// `expected_total`, outstanding == 0, every stack fully drained; when a
+/// tracer is attached, sched.processed and steal counters must agree with
+/// the RankStats the engine kept.
+template <class T>
+void check_steal_conservation(sched::WorkStealing<T>& ws, int threads,
+                              std::uint64_t expected_total,
+                              const trace::Tracer* tracer, Violations& out) {
+  const std::uint64_t processed = ws.total_processed();
+  if (processed != expected_total) {
+    out.push_back("steal conservation: processed " + std::to_string(processed) +
+                  " != expected " + std::to_string(expected_total));
+  }
+  if (ws.outstanding() != 0) {
+    out.push_back("steal conservation: outstanding " +
+                  std::to_string(ws.outstanding()) + " != 0 after completion");
+  }
+  std::uint64_t steals = 0;
+  for (int r = 0; r < threads; ++r) {
+    auto& stack = ws.stack(r);
+    if (stack.local_count() != 0 || stack.shared_count() != 0) {
+      out.push_back("steal conservation: rank " + std::to_string(r) +
+                    " stack not drained (local " +
+                    std::to_string(stack.local_count()) + ", shared " +
+                    std::to_string(stack.shared_count()) + ")");
+    }
+    steals += ws.stats(r).local_steals + ws.stats(r).remote_steals;
+  }
+  if (tracer != nullptr) {
+    const std::uint64_t traced = tracer->counter_total("sched.processed");
+    if (traced != processed) {
+      out.push_back("trace cross-check: sched.processed " +
+                    std::to_string(traced) + " != RankStats total " +
+                    std::to_string(processed));
+    }
+    const std::uint64_t traced_steals =
+        tracer->counter_total("sched.steal.success");
+    if (traced_steals != steals) {
+      out.push_back("trace cross-check: sched.steal.success " +
+                    std::to_string(traced_steals) + " != RankStats steals " +
+                    std::to_string(steals));
+    }
+  }
+}
+
+}  // namespace hupc::fault

@@ -1,0 +1,222 @@
+#include "fault/plan.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "sim/time.hpp"
+
+namespace hupc::fault {
+
+namespace {
+
+// Per-seam stream seeds: fixed salts keep the streams independent so
+// shrinking one group never shifts another group's decisions.
+constexpr std::uint64_t kSchedSalt = 0x5C4ED01EULL;
+constexpr std::uint64_t kMsgSalt = 0x4E57F417ULL;
+constexpr std::uint64_t kStealSalt = 0x57EA1BADULL;
+constexpr std::uint64_t kAllocSalt = 0xA110CBADULL;
+
+std::uint64_t salted(std::uint64_t seed, std::uint64_t salt) {
+  util::SplitMix64 sm(seed ^ salt);
+  return sm.next();
+}
+
+template <class... Args>
+void append(std::string& out, const char* fmt, Args... args) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, fmt, args...);
+  out += buf;
+}
+
+}  // namespace
+
+bool PlanParams::quiescent() const noexcept {
+  return event_jitter_p <= 0.0 && msg_delay_p <= 0.0 &&
+         msg_bw_degrade_p <= 0.0 && blackout_node < 0 && steal_fail_p <= 0.0 &&
+         spawn_width_cap <= 0 && alloc_fail_after_bytes == 0;
+}
+
+std::string PlanParams::describe() const {
+  std::string out = "plan[" + name + " seed=" + std::to_string(seed);
+  if (quiescent()) return out + " quiescent]";
+  if (event_jitter_p > 0.0) {
+    append(out, " jitter=%.2f/%.0fus", event_jitter_p, event_jitter_max_s * 1e6);
+  }
+  if (msg_delay_p > 0.0) {
+    append(out, " delay=%.2f/%.0fus", msg_delay_p, msg_delay_max_s * 1e6);
+  }
+  if (msg_bw_degrade_p > 0.0) {
+    append(out, " bw-dip=%.2f/floor %.2f", msg_bw_degrade_p, msg_bw_floor);
+  }
+  if (blackout_node >= 0) {
+    out += " blackout=node " + std::to_string(blackout_node);
+    append(out, " [%.1f,%.1f]ms", blackout_start_s * 1e3,
+           (blackout_start_s + blackout_duration_s) * 1e3);
+  }
+  if (steal_fail_p > 0.0) append(out, " steal-fail=%.2f", steal_fail_p);
+  if (spawn_width_cap > 0) {
+    out += " spawn-cap=" + std::to_string(spawn_width_cap);
+  }
+  if (alloc_fail_after_bytes > 0) {
+    append(out, " heap-pressure=%.2f after %.0f KiB", alloc_fail_p,
+           static_cast<double>(alloc_fail_after_bytes) / 1024.0);
+  }
+  return out + "]";
+}
+
+FaultPlan::FaultPlan(PlanParams params)
+    : params_(std::move(params)),
+      sched_rng_(salted(params_.seed, kSchedSalt)),
+      msg_rng_(salted(params_.seed, kMsgSalt)),
+      steal_rng_(salted(params_.seed, kStealSalt)),
+      alloc_rng_(salted(params_.seed, kAllocSalt)) {}
+
+void FaultPlan::install(gas::Runtime& rt) {
+  engine_ = &rt.engine();
+  Hooks hooks;
+  if (params_.event_jitter_p > 0.0) hooks.schedule = this;
+  if (params_.msg_delay_p > 0.0 || params_.msg_bw_degrade_p > 0.0 ||
+      params_.blackout_node >= 0) {
+    hooks.message = this;
+  }
+  if (params_.steal_fail_p > 0.0) hooks.steal = this;
+  if (params_.alloc_fail_after_bytes > 0) hooks.alloc = this;
+  if (params_.spawn_width_cap > 0) hooks.spawn = this;
+  rt.install_faults(hooks);
+}
+
+void FaultPlan::uninstall(gas::Runtime& rt) { rt.install_faults(Hooks{}); }
+
+std::int64_t FaultPlan::perturb_schedule(std::int64_t /*now*/,
+                                         std::int64_t at) noexcept {
+  if (sched_rng_.uniform() >= params_.event_jitter_p) return at;
+  ++stats_.events_jittered;
+  return at + sim::from_seconds(sched_rng_.uniform() *
+                                params_.event_jitter_max_s);
+}
+
+MessageMutation FaultPlan::on_message(int src_node, int dst_node,
+                                      double /*bytes*/) noexcept {
+  MessageMutation mut;
+  if (params_.blackout_node >= 0 && engine_ != nullptr &&
+      (src_node == params_.blackout_node || dst_node == params_.blackout_node)) {
+    const double now = sim::to_seconds(engine_->now());
+    const double end = params_.blackout_start_s + params_.blackout_duration_s;
+    if (now >= params_.blackout_start_s && now < end) {
+      // The dark link buffers the message until recovery.
+      mut.hold_s = end - now;
+      ++stats_.messages_held_blackout;
+    }
+  }
+  if (params_.msg_delay_p > 0.0 &&
+      msg_rng_.uniform() < params_.msg_delay_p) {
+    mut.hold_s += msg_rng_.uniform() * params_.msg_delay_max_s;
+    ++stats_.messages_delayed;
+  }
+  if (params_.msg_bw_degrade_p > 0.0 &&
+      msg_rng_.uniform() < params_.msg_bw_degrade_p) {
+    mut.bw_scale =
+        params_.msg_bw_floor +
+        msg_rng_.uniform() * (1.0 - params_.msg_bw_floor);
+    ++stats_.messages_degraded;
+  }
+  return mut;
+}
+
+bool FaultPlan::fail_steal(int /*thief*/, int /*victim*/) noexcept {
+  if (steal_rng_.uniform() >= params_.steal_fail_p) return false;
+  ++stats_.steals_failed;
+  return true;
+}
+
+bool FaultPlan::fail_alloc(int /*owner*/, std::size_t /*bytes*/,
+                           std::size_t allocated) noexcept {
+  if (allocated < params_.alloc_fail_after_bytes) return false;
+  if (alloc_rng_.uniform() >= params_.alloc_fail_p) return false;
+  ++stats_.allocs_failed;
+  return true;
+}
+
+int FaultPlan::clamp_spawn_width(int requested) noexcept {
+  if (params_.spawn_width_cap <= 0 || requested <= params_.spawn_width_cap) {
+    return requested;
+  }
+  ++stats_.spawns_throttled;
+  return params_.spawn_width_cap;
+}
+
+const std::vector<std::string>& plan_template_names() {
+  static const std::vector<std::string> names = {
+      "none",        "jitter",         "latency-spike",
+      "bw-dip",      "blackout",       "steal-storm",
+      "spawn-throttle", "heap-pressure", "mixed"};
+  return names;
+}
+
+PlanParams plan_template(const std::string& name, std::uint64_t seed) {
+  // Magnitudes are drawn from the seed so every seed explores a different
+  // member of the template family, reproducibly.
+  util::SplitMix64 sm(seed ^ 0x7E3A917EULL);
+  auto uniform = [&sm] {
+    return static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+  };
+  auto in = [&](double lo, double hi) { return lo + uniform() * (hi - lo); };
+
+  PlanParams p;
+  p.seed = seed;
+  p.name = name;
+  if (name == "none") {
+    return p;
+  }
+  if (name == "jitter") {
+    p.event_jitter_p = in(0.05, 0.30);
+    p.event_jitter_max_s = in(1e-6, 10e-6);
+    return p;
+  }
+  if (name == "latency-spike") {
+    p.msg_delay_p = in(0.10, 0.50);
+    p.msg_delay_max_s = in(10e-6, 200e-6);
+    return p;
+  }
+  if (name == "bw-dip") {
+    p.msg_bw_degrade_p = in(0.20, 0.80);
+    p.msg_bw_floor = in(0.02, 0.30);
+    return p;
+  }
+  if (name == "blackout") {
+    p.blackout_node = static_cast<int>(sm.next() % 4);
+    p.blackout_start_s = in(0.2e-3, 2e-3);
+    p.blackout_duration_s = in(0.5e-3, 3e-3);
+    return p;
+  }
+  if (name == "steal-storm") {
+    p.steal_fail_p = in(0.30, 0.80);
+    return p;
+  }
+  if (name == "spawn-throttle") {
+    p.spawn_width_cap = 1 + static_cast<int>(sm.next() % 2);
+    return p;
+  }
+  if (name == "heap-pressure") {
+    p.alloc_fail_after_bytes = static_cast<std::size_t>(in(1.0, 32.0) * 1024 * 1024);
+    p.alloc_fail_p = in(0.20, 1.00);
+    return p;
+  }
+  if (name == "mixed") {
+    p.event_jitter_p = in(0.05, 0.20);
+    p.event_jitter_max_s = in(1e-6, 5e-6);
+    p.msg_delay_p = in(0.10, 0.30);
+    p.msg_delay_max_s = in(10e-6, 100e-6);
+    p.msg_bw_degrade_p = in(0.10, 0.50);
+    p.msg_bw_floor = in(0.05, 0.40);
+    p.steal_fail_p = in(0.10, 0.50);
+    return p;
+  }
+  throw std::invalid_argument(
+      "fault::plan_template: unknown template \"" + name +
+      "\" (known: none jitter latency-spike bw-dip blackout steal-storm "
+      "spawn-throttle heap-pressure mixed)");
+}
+
+}  // namespace hupc::fault

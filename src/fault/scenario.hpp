@@ -1,0 +1,65 @@
+// Seeded degenerate-scenario catalogue (DESIGN.md §9).
+//
+// A Scenario is a configuration the runtime must either reject (with a
+// diagnostic mentioning `expect_reject_needle`) or accept and then survive
+// a micro-workload on: empty transfers that must stay message-free,
+// self-messages (puts/gets a rank issues against its own segment), and a
+// pair of barriers. The catalogue replaces the ad-hoc failure cases that
+// used to live inline in edge_cases_test.cpp: zero-capacity conduit links,
+// degenerate machine shapes, negative cost constants, non-positive thread
+// counts — with the rejected magnitudes drawn from a seed so every seed
+// probes a different member of each family.
+//
+// Accepted scenarios run their micro-workload under an arbitrary FaultPlan:
+// correctness (payload integrity, barrier phases, zero messages for empty
+// transfers) must hold under ANY plan; the zero-virtual-time property of
+// empty transfers is additionally asserted when the plan is quiescent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/invariants.hpp"
+#include "fault/plan.hpp"
+#include "gas/runtime.hpp"
+#include "sim/time.hpp"
+
+namespace hupc::fault {
+
+struct Scenario {
+  std::string name;
+  gas::Config config;
+  /// Non-empty => constructing a Runtime from `config` must throw
+  /// std::invalid_argument whose message contains this needle.
+  std::string expect_reject_needle;
+
+  [[nodiscard]] bool expect_rejection() const noexcept {
+    return !expect_reject_needle.empty();
+  }
+};
+
+/// The full catalogue for one seed: every rejection family (threads,
+/// machine shape, cost constants, conduit bandwidths) plus the accepted
+/// degenerate machines (single core/single thread, more nodes than ranks).
+[[nodiscard]] std::vector<Scenario> degenerate_scenarios(std::uint64_t seed);
+
+/// Verify a scenario's accept/reject contract: a rejecting config must
+/// throw with the expected needle; an accepted one must construct cleanly.
+/// Violations are appended to `out`.
+void check_scenario_contract(const Scenario& scenario, Violations& out);
+
+struct ScenarioResult {
+  Violations violations;
+  sim::Time virtual_time = 0;
+
+  [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
+};
+
+/// Run an accepted scenario's micro-workload (empty transfers, self-message
+/// roundtrips, two barriers) under `plan` and check the invariants that
+/// must survive any perturbation.
+[[nodiscard]] ScenarioResult run_scenario(const Scenario& scenario,
+                                          const PlanParams& plan);
+
+}  // namespace hupc::fault

@@ -1,6 +1,7 @@
 #include "gas/heap.hpp"
 
 #include <cassert>
+#include <new>
 
 namespace hupc::gas {
 
@@ -38,6 +39,19 @@ SharedHeap::SharedHeap(int threads) {
   segments_.reserve(static_cast<std::size_t>(threads));
   for (int i = 0; i < threads; ++i) {
     segments_.push_back(std::make_unique<Segment>());
+  }
+}
+
+std::size_t SharedHeap::bytes_allocated() const noexcept {
+  std::size_t total = 0;
+  for (const auto& s : segments_) total += s->bytes_allocated();
+  return total;
+}
+
+void SharedHeap::maybe_inject_failure(int owner, std::size_t bytes) const {
+  if (fault_ != nullptr &&
+      fault_->fail_alloc(owner, bytes, bytes_allocated())) {
+    throw std::bad_alloc();
   }
 }
 

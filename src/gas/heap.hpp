@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "fault/hooks.hpp"
 #include "gas/global_ptr.hpp"
 #include "gas/global_ptr2d.hpp"
 
@@ -51,8 +52,11 @@ class SharedHeap {
   }
 
   /// upc_alloc analogue: `count` Ts with affinity to thread `owner`.
+  /// Under heap-pressure fault injection the allocation may throw
+  /// std::bad_alloc instead (see set_fault); without a hook it never fails.
   template <class T>
   [[nodiscard]] GlobalPtr<T> alloc(int owner, std::size_t count) {
+    maybe_inject_failure(owner, count * sizeof(T));
     auto* p = static_cast<T*>(segment(owner).allocate(
         count * sizeof(T), alignof(T) < 8 ? 8 : alignof(T)));
     return GlobalPtr<T>{owner, p};
@@ -96,8 +100,19 @@ class SharedHeap {
     return *segments_[static_cast<std::size_t>(owner)];
   }
 
+  /// Total bytes handed out across all segments.
+  [[nodiscard]] std::size_t bytes_allocated() const noexcept;
+
+  /// Attach a heap-pressure fault hook (non-owning, may be null): each
+  /// allocation consults it and throws std::bad_alloc when it fires.
+  void set_fault(fault::AllocHook* hook) noexcept { fault_ = hook; }
+
  private:
+  /// Throws std::bad_alloc when the installed hook injects a failure.
+  void maybe_inject_failure(int owner, std::size_t bytes) const;
+
   std::vector<std::unique_ptr<Segment>> segments_;
+  fault::AllocHook* fault_ = nullptr;
 };
 
 }  // namespace hupc::gas

@@ -110,6 +110,13 @@ Runtime::Runtime(sim::Engine& engine, Config config)
   }
 }
 
+void Runtime::install_faults(const fault::Hooks& hooks) {
+  fault_hooks_ = hooks;
+  engine_->set_fault(hooks.schedule);
+  network_.set_fault(hooks.message);
+  heap_.set_fault(hooks.alloc);
+}
+
 void Runtime::spmd(Kernel kernel) {
   if (launched_) {
     throw std::logic_error("Runtime::spmd: already launched");

@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "fault/hooks.hpp"
 #include "gas/global_ptr.hpp"
 #include "gas/heap.hpp"
 #include "mem/memory_system.hpp"
@@ -279,6 +280,18 @@ class Runtime {
   /// (dissemination rounds intra-node + inter-node).
   [[nodiscard]] sim::Time barrier_cost() const;
 
+  // --- fault injection ---------------------------------------------------
+  /// Install a fault-hook set (non-owning): wires the engine, network and
+  /// heap seams immediately and exposes the steal/spawn hooks to the layers
+  /// that consume them at construction time (sched::WorkStealing,
+  /// core::SubPool) — install before building those. Call with a default
+  /// Hooks{} to uninstall. All seams are null/off by default; an
+  /// uninstalled runtime is bit-identical to one built without the seams.
+  void install_faults(const fault::Hooks& hooks);
+  [[nodiscard]] const fault::Hooks& fault_hooks() const noexcept {
+    return fault_hooks_;
+  }
+
  private:
   friend class Thread;
 
@@ -295,6 +308,7 @@ class Runtime {
   std::vector<std::unique_ptr<Thread>> threads_;
   std::vector<sim::Process> procs_;
   Kernel kernel_;  // owns the closure the rank coroutines execute in
+  fault::Hooks fault_hooks_;
   bool launched_ = false;
 };
 

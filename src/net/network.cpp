@@ -61,6 +61,25 @@ sim::Task<void> Network::rma(int src_node, int src_ep, int dst_node,
   ++src_counters.messages;
   src_counters.bytes += bytes;
 
+  // Fault injection: one consultation per message. The mutation can hold
+  // the message (a dark link buffers it until recovery) and/or degrade its
+  // wire rate; it never drops or duplicates payload bytes.
+  double wire_cap = conduit_.conn_bw;
+  if (fault_ != nullptr) {
+    const fault::MessageMutation mut =
+        fault_->on_message(src_node, dst_node, bytes);
+    if (mut.hold_s > 0.0) {
+      HUPC_TRACE_COUNT(tracer_, "fault.msg.hold", rank);
+      co_await sim::delay(*engine_, sim::from_seconds(mut.hold_s));
+    }
+    if (mut.bw_scale < 1.0) {
+      HUPC_TRACE_COUNT(tracer_, "fault.msg.degrade", rank);
+      // Floor at 1e-4x: a zero-rate flow would never complete (blackouts
+      // are modeled as holds, not zero bandwidth).
+      wire_cap *= mut.bw_scale < 1e-4 ? 1e-4 : mut.bw_scale;
+    }
+  }
+
   // Shared network-API path: every message serializes briefly through the
   // node's HCA/driver; independent process endpoints contend harder than
   // threads multiplexed over one connection.
@@ -93,8 +112,8 @@ sim::Task<void> Network::rma(int src_node, int src_ep, int dst_node,
     co_await conn.lock();
     sim::ScopedLock guard(conn);
     co_await sim::delay(*engine_, sim::from_seconds(conduit_.send_overhead_s));
-    src_leg = nic(src_node).transfer_async(bytes, conduit_.conn_bw);
-    dst_leg = nic(dst_node).transfer_async(bytes, conduit_.conn_bw);
+    src_leg = nic(src_node).transfer_async(bytes, wire_cap);
+    dst_leg = nic(dst_node).transfer_async(bytes, wire_cap);
     co_await sim::delay(*engine_,
                         sim::from_seconds(bytes / conduit_.stage_bw));
   }

@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "fault/hooks.hpp"
 #include "net/conduit.hpp"
 #include "sim/engine.hpp"
 #include "sim/process.hpp"
@@ -71,6 +72,14 @@ class Network {
   /// instants plus per-connection queueing scopes are recorded.
   void set_tracer(trace::Tracer* tracer) noexcept { tracer_ = tracer; }
 
+  /// Attach a fault-injection hook (non-owning, may be null): every rma()
+  /// consults it once at injection and applies the returned mutation —
+  /// an extra hold before entering the API queue (latency spikes, link
+  /// blackouts) and/or a scaled per-flow wire cap (bandwidth dips). The
+  /// payload itself is never mutated, so byte conservation must survive
+  /// any plan.
+  void set_fault(fault::MessageHook* hook) noexcept { fault_ = hook; }
+
  private:
   [[nodiscard]] sim::Mutex& connection(int node, int endpoint);
   /// Global rank the exporters attribute endpoint traffic to; exact under
@@ -84,6 +93,7 @@ class Network {
   ConnectionMode mode_;
   int endpoints_per_node_;
   trace::Tracer* tracer_ = nullptr;
+  fault::MessageHook* fault_ = nullptr;
   std::vector<std::unique_ptr<sim::FluidLink>> nics_;
   std::vector<std::unique_ptr<sim::Mutex>> connections_;
   // One per logical endpoint: a thread's wire transfers pipeline serially

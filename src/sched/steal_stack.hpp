@@ -78,15 +78,21 @@ class StealStack {
   /// Steal up to `granularity` items — or half of the shared portion when
   /// `steal_half` (rapid diffusion) and at least two chunks are available.
   /// The payload transfer is charged at `bytes_per_item`.
+  /// `test_split_off_by_one` plants a deliberate boundary bug in the
+  /// diffusion split (the boundary item lands on both sides) — a fuzzer
+  /// validation target only, never enable outside tests.
   [[nodiscard]] sim::Task<std::size_t> steal(gas::Thread& thief,
                                              std::vector<T>& out,
                                              int granularity, bool steal_half,
-                                             double bytes_per_item) {
+                                             double bytes_per_item,
+                                             bool test_split_off_by_one = false) {
     co_await lock_.acquire(thief);
     std::size_t take = std::min<std::size_t>(
         shared_.size(), static_cast<std::size_t>(granularity));
+    bool diffused = false;
     if (steal_half && shared_.size() >= 2 * static_cast<std::size_t>(chunk_)) {
       take = shared_.size() / 2;
+      diffused = true;
       // Rapid diffusion fired: the thief walks away with half the surplus.
       HUPC_TRACE_INSTANT(rt_->tracer(), trace::Category::sched, "diffusion",
                          thief.rank(), take,
@@ -101,6 +107,11 @@ class StealStack {
       for (std::size_t i = 0; i < take; ++i) {
         out.push_back(std::move(shared_.front()));
         shared_.pop_front();
+      }
+      if (diffused && test_split_off_by_one) {
+        // Planted bug: the split boundary is copied instead of moved, so
+        // the boundary item is now owned by both sides of the split.
+        out.push_back(out.back());
       }
     }
     co_await lock_.release(thief);

@@ -25,6 +25,7 @@
 #include <memory>
 #include <vector>
 
+#include "fault/hooks.hpp"
 #include "gas/gas.hpp"
 #include "sched/steal_stack.hpp"
 #include "sim/sim.hpp"
@@ -44,6 +45,11 @@ struct StealParams {
   double bytes_per_item = 24.0;  // payload per stolen item
   int batch = 64;                // items processed per virtual-time charge
   std::uint64_t seed = 0x5EED;
+  /// Test-only: plant an off-by-one in the rapid-diffusion split (the
+  /// boundary item is duplicated across the split). Exists so fuzz tests
+  /// can prove fault::Fuzzer catches real conservation bugs; never enable
+  /// outside tests.
+  bool test_split_off_by_one = false;
 };
 
 struct RankStats {
@@ -62,7 +68,10 @@ class WorkStealing {
   using Process = std::function<void(const T&, std::vector<T>&)>;
 
   WorkStealing(gas::Runtime& rt, StealParams params, Process process)
-      : rt_(&rt), params_(params), process_(std::move(process)) {
+      : rt_(&rt),
+        params_(params),
+        process_(std::move(process)),
+        steal_fault_(rt.fault_hooks().steal) {
     stacks_.reserve(static_cast<std::size_t>(rt.threads()));
     for (int r = 0; r < rt.threads(); ++r) {
       stacks_.push_back(
@@ -147,6 +156,12 @@ class WorkStealing {
   [[nodiscard]] StealStack<T>& stack(int rank) {
     return *stacks_[static_cast<std::size_t>(rank)];
   }
+  /// Work-conservation counter: seeded + generated - fully processed. Zero
+  /// after a clean run; nonzero (or stacks left non-empty) flags a lost or
+  /// duplicated item — what fault::check_steal_conservation asserts on.
+  [[nodiscard]] std::int64_t outstanding() const noexcept {
+    return outstanding_;
+  }
 
  private:
   /// One discovery sweep. Returns true if work was stolen.
@@ -180,15 +195,23 @@ class WorkStealing {
       const bool victim_local = rt_->node_of(victim) == rt_->node_of(me);
       auto& vstack = *stacks_[static_cast<std::size_t>(victim)];
       HUPC_TRACE_COUNT(rt_->tracer(), "sched.steal.attempt", me);
+      // Fault injection: a transient steal failure (contention storm) makes
+      // the victim look empty without even probing.
+      if (steal_fault_ != nullptr && steal_fault_->fail_steal(me, victim)) {
+        ++stats.failed_probes;
+        HUPC_TRACE_COUNT(rt_->tracer(), "fault.steal.fail", me);
+        HUPC_TRACE_COUNT(rt_->tracer(), "sched.steal.fail", me);
+        continue;
+      }
       const std::size_t visible = co_await vstack.probe(self);
       if (visible == 0) {
         ++stats.failed_probes;
         HUPC_TRACE_COUNT(rt_->tracer(), "sched.steal.fail", me);
         continue;
       }
-      const std::size_t got =
-          co_await vstack.steal(self, loot, params_.granularity,
-                                params_.rapid_diffusion, params_.bytes_per_item);
+      const std::size_t got = co_await vstack.steal(
+          self, loot, params_.granularity, params_.rapid_diffusion,
+          params_.bytes_per_item, params_.test_split_off_by_one);
       if (got > 0) {
         auto& mine = *stacks_[static_cast<std::size_t>(me)];
         for (auto& item : loot) mine.push(std::move(item));
@@ -223,6 +246,7 @@ class WorkStealing {
   gas::Runtime* rt_;
   StealParams params_;
   Process process_;
+  fault::StealHook* steal_fault_;
   std::vector<std::unique_ptr<StealStack<T>>> stacks_;
   std::vector<RankStats> stats_;
   std::int64_t outstanding_ = 0;

@@ -6,6 +6,10 @@ namespace hupc::sim {
 
 void Engine::schedule_at(Time at, std::function<void()> fn) {
   if (at < now_) at = now_;
+  if (fault_ != nullptr) {
+    at = fault_->perturb_schedule(now_, at);
+    if (at < now_) at = now_;  // a hook can delay events, never reorder past
+  }
   queue_.push(Event{at, next_seq_++, std::move(fn)});
 }
 

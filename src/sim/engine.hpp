@@ -12,6 +12,7 @@
 #include <queue>
 #include <vector>
 
+#include "fault/hooks.hpp"
 #include "sim/time.hpp"
 #include "trace/trace.hpp"
 
@@ -59,6 +60,13 @@ class Engine {
   void set_tracer(trace::Tracer* tracer) noexcept { tracer_ = tracer; }
   [[nodiscard]] trace::Tracer* tracer() const noexcept { return tracer_; }
 
+  /// Attach a fault-injection hook (non-owning, may be null): every
+  /// scheduled event's timestamp may be perturbed (delayed) by the hook.
+  /// The result is clamped to now(), so monotonicity is preserved. Null —
+  /// the default — leaves scheduling untouched.
+  void set_fault(fault::ScheduleHook* hook) noexcept { fault_ = hook; }
+  [[nodiscard]] fault::ScheduleHook* fault() const noexcept { return fault_; }
+
  private:
   struct Event {
     Time at;
@@ -76,6 +84,7 @@ class Engine {
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   trace::Tracer* tracer_ = nullptr;
+  fault::ScheduleHook* fault_ = nullptr;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
 };
 

@@ -1,0 +1,107 @@
+// Fuzzer smoke tests.
+//
+// Two halves prove the loop end-to-end:
+//   1. a healthy runtime survives a seed sweep with zero violations;
+//   2. when the test-only steal-split off-by-one is planted, the sweep MUST
+//      find it within the smoke budget, the shrunk plan must still
+//      reproduce it, and the reproduction must be deterministic.
+//
+// The sweep budget scales with HUPC_FUZZ_BUDGET (the nightly CI mode sets
+// a few hundred); the default stays small enough for every `ctest` run.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "fault/fuzzer.hpp"
+#include "fault/plan.hpp"
+
+namespace {
+
+using namespace hupc;  // NOLINT: test-local convenience
+
+int smoke_budget(int fallback) {
+  if (const char* env = std::getenv("HUPC_FUZZ_BUDGET")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+  }
+  return fallback;
+}
+
+TEST(FuzzSmoke, HealthySweepIsClean) {
+  fault::FuzzOptions opt;
+  opt.base_seed = 1001;
+  opt.budget = smoke_budget(48);
+  fault::Fuzzer fuzzer(opt);
+  std::ostringstream log;
+  const fault::FuzzReport report = fuzzer.run(log);
+  EXPECT_EQ(report.cases_run, opt.budget);
+  EXPECT_TRUE(report.ok()) << log.str();
+}
+
+TEST(FuzzSmoke, PlantedSplitBugIsFoundShrunkAndReproducible) {
+  fault::FuzzOptions opt;
+  opt.base_seed = 1;
+  opt.budget = smoke_budget(32);
+  opt.plant_split_bug = true;
+  fault::Fuzzer fuzzer(opt);
+  std::ostringstream log;
+  const fault::FuzzReport report = fuzzer.run(log);
+
+  // The deliberately planted conservation bug must be caught in-budget.
+  ASSERT_FALSE(report.failures.empty())
+      << "planted steal-split bug escaped a " << opt.budget
+      << "-seed sweep:\n"
+      << log.str();
+
+  const fault::FuzzFailure& failure = report.failures.front();
+  EXPECT_EQ(failure.spec.workload, "uts");
+  EXPECT_TRUE(failure.spec.plant_split_bug);
+  EXPECT_FALSE(failure.violations.empty());
+
+  // The printed replay command names the seed and the plan.
+  const std::string replay = failure.spec.replay_command();
+  EXPECT_NE(replay.find("--fuzz-seed " + std::to_string(failure.spec.seed)),
+            std::string::npos)
+      << replay;
+  EXPECT_NE(replay.find("--fault-seed=" + std::to_string(failure.spec.seed)),
+            std::string::npos)
+      << replay;
+  EXPECT_NE(replay.find("--fault-plan=" + failure.spec.plan),
+            std::string::npos)
+      << replay;
+
+  // Replaying the seed reproduces the identical violations, twice.
+  const fault::CaseResult again = fault::run_case(failure.spec);
+  const fault::CaseResult thrice = fault::run_case(failure.spec);
+  EXPECT_EQ(again.violations, failure.violations);
+  EXPECT_EQ(again.violations, thrice.violations);
+  EXPECT_EQ(again.summary, thrice.summary);
+
+  // The shrunk plan is a (non-strict) reduction that still fails.
+  const fault::CaseResult shrunk = fault::run_case(failure.spec,
+                                                   failure.shrunk);
+  EXPECT_FALSE(shrunk.ok()) << "shrunk plan no longer reproduces: "
+                            << failure.shrunk.describe();
+  const fault::PlanParams original =
+      fault::plan_template(failure.spec.plan, failure.spec.seed);
+  EXPECT_LE(failure.shrunk.event_jitter_p, original.event_jitter_p);
+  EXPECT_LE(failure.shrunk.msg_delay_p, original.msg_delay_p);
+  EXPECT_LE(failure.shrunk.msg_bw_degrade_p, original.msg_bw_degrade_p);
+  EXPECT_LE(failure.shrunk.steal_fail_p, original.steal_fail_p);
+}
+
+TEST(FuzzSmoke, ExplicitCaseWithoutBugIsCleanEvenOnFailingSeed) {
+  // The bug lives in the (test-only) split path, not in the plan: the same
+  // derived case with plant_split_bug off must pass.
+  fault::CaseSpec spec = fault::derive_case(2, fault::FuzzOptions{}.templates,
+                                            /*plant_split_bug=*/true);
+  if (spec.workload == "uts") {
+    spec.plant_split_bug = false;
+    const fault::CaseResult res = fault::run_case(spec);
+    EXPECT_TRUE(res.ok()) << res.violations.front();
+  }
+}
+
+}  // namespace
