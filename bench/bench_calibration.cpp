@@ -27,7 +27,7 @@ double single_flow_gbs() {
   const auto m = topo::lehman(2);
   net::Network nw(e, m, net::ib_qdr(), net::ConnectionMode::per_process, 8);
   sim::spawn(e, [](net::Network& n) -> sim::Task<void> {
-    co_await n.rma(0, 0, 1, 1e9);
+    co_await n.rma({.src_node = 0, .src_ep = 0, .dst_node = 1, .bytes = 1e9});
   }(nw));
   e.run();
   return 1.0 / sim::to_seconds(e.now());
@@ -39,7 +39,8 @@ double nic_aggregate_gbs() {
   net::Network nw(e, m, net::ib_qdr(), net::ConnectionMode::per_process, 8);
   for (int ep = 0; ep < 4; ++ep) {
     sim::spawn(e, [](net::Network& n, int endpoint) -> sim::Task<void> {
-      co_await n.rma(0, endpoint, 1, 1e9);
+      co_await n.rma(
+          {.src_node = 0, .src_ep = endpoint, .dst_node = 1, .bytes = 1e9});
     }(nw, ep));
   }
   e.run();
@@ -51,8 +52,8 @@ double small_message_rtt_us() {
   const auto m = topo::lehman(2);
   net::Network nw(e, m, net::ib_qdr(), net::ConnectionMode::per_process, 8);
   sim::spawn(e, [](net::Network& n) -> sim::Task<void> {
-    co_await n.rma(0, 0, 1, 8);
-    co_await n.rma(1, 0, 0, 8);
+    co_await n.rma({.src_node = 0, .src_ep = 0, .dst_node = 1, .bytes = 8});
+    co_await n.rma({.src_node = 1, .src_ep = 0, .dst_node = 0, .bytes = 8});
   }(nw));
   e.run();
   return sim::to_micros(e.now());

@@ -34,8 +34,10 @@ double latency_us(net::ConnectionMode mode, int links, double bytes,
                           int reps, sim::Time& out) -> sim::Task<void> {
       const sim::Time start = eng.now();
       for (int i = 0; i < reps; ++i) {
-        co_await n.rma(0, ep, 1, b);  // request
-        co_await n.rma(1, ep, 0, b);  // response
+        co_await n.rma(
+            {.src_node = 0, .src_ep = ep, .dst_node = 1, .bytes = b});
+        co_await n.rma(
+            {.src_node = 1, .src_ep = ep, .dst_node = 0, .bytes = b});
       }
       out = eng.now() - start;
     }(engine, nw, link, bytes, round_trips, elapsed[static_cast<std::size_t>(link)]));
@@ -60,7 +62,8 @@ double flood_mbs(net::ConnectionMode mode, int links, double bytes,
       std::vector<sim::Future<>> inflight;
       inflight.reserve(static_cast<std::size_t>(count));
       for (int i = 0; i < count; ++i) {
-        inflight.push_back(n.rma_async(0, ep, 1, b));
+        inflight.push_back(
+            n.rma_async({.src_node = 0, .src_ep = ep, .dst_node = 1, .bytes = b}));
       }
       for (auto& f : inflight) co_await f.wait();
     }(engine, nw, link, bytes, messages));

@@ -1,0 +1,182 @@
+#include "comm/coalescer.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace hupc::comm {
+
+namespace {
+
+[[nodiscard]] const char* cause_name(FlushCause cause) noexcept {
+  switch (cause) {
+    case FlushCause::capacity:
+      return "comm.flush.capacity";
+    case FlushCause::conflict:
+      return "comm.flush.conflict";
+    case FlushCause::fence:
+      return "comm.flush.fence";
+  }
+  return "comm.flush.fence";
+}
+
+}  // namespace
+
+void Coalescer::configure(const Params& params) {
+  if (buffered_ops_ != 0) {
+    throw std::logic_error(
+        "comm::Coalescer::configure: previous epoch still holds buffered "
+        "operations (await end_coalesce() first)");
+  }
+  if (params.max_bytes == 0 || params.max_ops == 0) {
+    throw std::invalid_argument(
+        "comm::Params: max_bytes and max_ops must be >= 1");
+  }
+  if (params.per_op_header_bytes < 0.0 || params.api_scale <= 0.0) {
+    throw std::invalid_argument(
+        "comm::Params: per_op_header_bytes must be >= 0 and api_scale > 0");
+  }
+  params_ = params;
+}
+
+bool Coalescer::conflicts(const Buffer& buf, const void* addr,
+                          std::size_t bytes) {
+  if (addr == nullptr || bytes == 0) return false;
+  const auto* lo = static_cast<const std::byte*>(addr);
+  const auto* hi = lo + bytes;
+  for (const PendingPut& p : buf.puts) {
+    const auto* plo = static_cast<const std::byte*>(p.dst);
+    const auto* phi = plo + p.len;
+    if (plo < hi && lo < phi) return true;
+  }
+  return false;
+}
+
+bool Coalescer::over_capacity(const Buffer& buf) const noexcept {
+  const double gross =
+      buf.payload_bytes +
+      static_cast<double>(buf.ops) * params_.per_op_header_bytes;
+  return buf.ops >= params_.max_ops ||
+         gross >= static_cast<double>(params_.max_bytes);
+}
+
+sim::Task<void> Coalescer::put(int dst_node, void* dst, const void* value,
+                               std::size_t bytes) {
+  assert(dst_node != src_node_ &&
+         "coalescing is for remote destinations; local accesses take the "
+         "memory path");
+  Buffer& buf = buffers_[dst_node];
+  const std::size_t offset = buf.arena.size();
+  buf.arena.resize(offset + bytes);
+  std::memcpy(buf.arena.data() + offset, value, bytes);
+  buf.puts.push_back(PendingPut{dst, offset, bytes});
+  ++buf.ops;
+  buf.payload_bytes += static_cast<double>(bytes);
+  ++buffered_ops_;
+  ++stats_.ops_absorbed;
+  ++stats_.puts_deferred;
+  HUPC_TRACE_COUNT(tracer_, "comm.op.put", rank_);
+  if (over_capacity(buf)) {
+    co_await drain(dst_node, buf, FlushCause::capacity);
+  }
+}
+
+sim::Task<void> Coalescer::read(int dst_node, const void* addr,
+                                std::size_t bytes) {
+  assert(dst_node != src_node_ &&
+         "coalescing is for remote destinations; local accesses take the "
+         "memory path");
+  Buffer& buf = buffers_[dst_node];
+  if (conflicts(buf, addr, bytes)) {
+    // Read-your-writes: the buffered put to this range must be observed,
+    // so the destination drains before the value is read.
+    co_await drain(dst_node, buf, FlushCause::conflict);
+  }
+  ++buf.ops;
+  buf.payload_bytes += static_cast<double>(bytes);
+  ++buffered_ops_;
+  ++stats_.ops_absorbed;
+  HUPC_TRACE_COUNT(tracer_, "comm.op.read", rank_);
+  if (over_capacity(buf)) {
+    co_await drain(dst_node, buf, FlushCause::capacity);
+  }
+}
+
+sim::Task<void> Coalescer::flush(int dst_node, FlushCause cause) {
+  auto it = buffers_.find(dst_node);
+  if (it == buffers_.end() || it->second.ops == 0) co_return;
+  co_await drain(dst_node, it->second, cause);
+}
+
+sim::Task<void> Coalescer::flush_all(FlushCause cause) {
+  // std::map iteration order == ascending node order: deterministic.
+  for (auto& [node, buf] : buffers_) {
+    if (buf.ops == 0) continue;
+    co_await drain(node, buf, cause);
+  }
+}
+
+sim::Task<void> Coalescer::drain(int dst_node, Buffer& buf, FlushCause cause) {
+  assert(buf.ops > 0);
+  // Apply deferred puts in append order at flush initiation; the issuing
+  // rank blocks on the aggregated rma below before touching anything else,
+  // so no later operation of this rank can observe the window.
+  for (const PendingPut& p : buf.puts) {
+    std::memcpy(p.dst, buf.arena.data() + p.offset, p.len);
+  }
+  const std::uint64_t ops = buf.ops;
+  const double gross =
+      buf.payload_bytes +
+      static_cast<double>(ops) * params_.per_op_header_bytes;
+  buffered_ops_ -= ops;
+  buf.puts.clear();
+  buf.arena.clear();
+  buf.ops = 0;
+  buf.payload_bytes = 0.0;
+
+  ++stats_.flush_messages;
+  stats_.flushed_bytes += gross;
+  switch (cause) {
+    case FlushCause::capacity:
+      ++stats_.flushes_capacity;
+      break;
+    case FlushCause::conflict:
+      ++stats_.flushes_conflict;
+      break;
+    case FlushCause::fence:
+      ++stats_.flushes_fence;
+      break;
+  }
+  HUPC_TRACE_SCOPE(tracer_, trace::Category::net, "coalesce.flush", rank_, ops,
+                   static_cast<std::uint64_t>(dst_node));
+  HUPC_TRACE_COUNT(tracer_, "comm.flush.msgs", rank_);
+  HUPC_TRACE_COUNT(tracer_, "comm.flush.ops", rank_, ops);
+  HUPC_TRACE_COUNT(tracer_, "comm.flush.bytes", rank_,
+                   static_cast<std::uint64_t>(gross));
+  HUPC_TRACE_COUNT(tracer_, cause_name(cause), rank_);
+  co_await net_->rma(net::Transfer{.src_node = src_node_,
+                                   .src_ep = src_ep_,
+                                   .dst_node = dst_node,
+                                   .bytes = gross,
+                                   .api_scale = params_.api_scale,
+                                   .coalesced_count = ops});
+}
+
+void Coalescer::abandon() {
+  for (auto& [node, buf] : buffers_) {
+    (void)node;
+    if (buf.ops == 0) continue;
+    for (const PendingPut& p : buf.puts) {
+      std::memcpy(p.dst, buf.arena.data() + p.offset, p.len);
+    }
+    stats_.abandoned_ops += buf.ops;
+    HUPC_TRACE_COUNT(tracer_, "comm.abandoned", rank_, buf.ops);
+    buffered_ops_ -= buf.ops;
+    buf.puts.clear();
+    buf.arena.clear();
+    buf.ops = 0;
+    buf.payload_bytes = 0.0;
+  }
+}
+
+}  // namespace hupc::comm

@@ -187,7 +187,7 @@ ScenarioResult run_scenario(const Scenario& scenario, const PlanParams& plan) {
     const auto me = static_cast<std::size_t>(t.rank());
     co_await t.barrier();
     // Empty transfer: must move nothing and inject no messages.
-    co_await t.memput(cells.at(me), static_cast<const int*>(nullptr), 0);
+    co_await t.copy(cells.at(me), static_cast<const int*>(nullptr), 0);
     // Self-message: a rank writing and reading its own shared cell.
     co_await t.put(cells.at(me), 100 + t.rank());
     readback[me] = co_await t.get(cells.at(me));

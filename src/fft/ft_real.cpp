@@ -70,11 +70,11 @@ sim::Task<void> FtReal::run(gas::Thread& self) {
       Complex* dst_base = out_[static_cast<std::size_t>(p)].raw;
       const Complex* src_rows =
           slab + zl * plane + static_cast<std::size_t>(p) * px_ * ny;
-      // Destination rows are strided by nz*ny per x; one memput per x-row.
+      // Destination rows are strided by nz*ny per x; one copy per x-row.
       for (int xl = 0; xl < px_; ++xl) {
         gas::GlobalPtr<Complex> dst{
             p, dst_base + (static_cast<std::size_t>(xl) * nz + z) * ny};
-        pending.push_back(self.memput_async(dst, src_rows + xl * ny, ny));
+        pending.push_back(self.copy_async(dst, src_rows + xl * ny, ny));
       }
     }
   };

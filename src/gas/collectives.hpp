@@ -7,7 +7,7 @@
 // memory copies because "collective operations are not yet supported on
 // sub-threads" (§4.3.3.1); exchange() here is exactly that pattern, with
 // the classic staggered peer order to avoid hot-spotting one receiver.
-// broadcast() uses a binomial tree over memput with per-member readiness
+// broadcast() uses a binomial tree over copy() with per-member readiness
 // events, giving the O(log N) critical path of a real implementation;
 // reduce() is a flat one-sided gather+combine (used off the critical path).
 //
@@ -96,7 +96,7 @@ class Collectives {
       pending.reserve(static_cast<std::size_t>(n));
       for (int step = 0; step < n; ++step) {
         const int peer = (me + step + 1) % n;
-        pending.push_back(self.memput_async(
+        pending.push_back(self.copy_async(
             recv_bases[static_cast<std::size_t>(peer)] +
                 static_cast<std::ptrdiff_t>(static_cast<std::size_t>(me) * count),
             send + static_cast<std::size_t>(peer) * count, count));
@@ -105,7 +105,7 @@ class Collectives {
     } else {
       for (int step = 0; step < n; ++step) {
         const int peer = (me + step + 1) % n;
-        co_await self.memput(
+        co_await self.copy(
             recv_bases[static_cast<std::size_t>(peer)] +
                 static_cast<std::ptrdiff_t>(static_cast<std::size_t>(me) * count),
             send + static_cast<std::size_t>(peer) * count, count);
@@ -136,7 +136,7 @@ class Collectives {
       const int child_rel = rel + mask;
       if (child_rel < n) {
         const int child = (child_rel + root) % n;
-        co_await self.memput(bufs[static_cast<std::size_t>(child)],
+        co_await self.copy(bufs[static_cast<std::size_t>(child)],
                              bufs[static_cast<std::size_t>(me)].raw, count);
         state->ready[static_cast<std::size_t>(child)]->trigger();
       }
@@ -157,7 +157,7 @@ class Collectives {
     auto state = enter(me);
 
     if (rel != 0) {
-      co_await self.memput(
+      co_await self.copy(
           bufs[static_cast<std::size_t>(root)] +
               static_cast<std::ptrdiff_t>(static_cast<std::size_t>(rel) * count),
           bufs[static_cast<std::size_t>(me)].raw, count);
@@ -189,7 +189,7 @@ class Collectives {
     const int rel = (me - root + n) % n;
     auto state = enter(me);
     if (rel != 0) {
-      co_await self.memput(
+      co_await self.copy(
           bufs[static_cast<std::size_t>(root)] +
               static_cast<std::ptrdiff_t>(static_cast<std::size_t>(rel) * count),
           bufs[static_cast<std::size_t>(me)].raw, count);

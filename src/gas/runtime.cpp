@@ -35,6 +35,22 @@ net::ConduitSpec effective_conduit(const Config& config, int ranks_per_node) {
   return conduit;
 }
 
+/// Node-local endpoint indices under the ACTUAL placement: the i-th rank
+/// placed on a node gets endpoint i (ranks scanned in rank order). Matches
+/// `rank % ranks_per_node` exactly for blockwise node fills, and stays
+/// correct for any future placement that isn't.
+std::vector<int> endpoints_from_placement(
+    const std::vector<topo::HwLoc>& placement, int nodes,
+    int endpoints_per_node) {
+  std::vector<int> ep_of_rank(placement.size(), 0);
+  std::vector<int> next(static_cast<std::size_t>(nodes), 0);
+  for (std::size_t r = 0; r < placement.size(); ++r) {
+    const auto node = static_cast<std::size_t>(placement[r].node);
+    ep_of_rank[r] = next[node]++ % endpoints_per_node;
+  }
+  return ep_of_rank;
+}
+
 }  // namespace
 
 Config validated(Config config) {
@@ -84,6 +100,8 @@ Runtime::Runtime(sim::Engine& engine, Config config)
       ranks_per_node_((config_.threads + config_.machine.nodes - 1) /
                       config_.machine.nodes),
       nodes_used_((config_.threads + ranks_per_node_ - 1) / ranks_per_node_),
+      endpoint_of_rank_(endpoints_from_placement(
+          placement_, config_.machine.nodes, ranks_per_node_)),
       slots_(config_.machine),
       memory_(engine, config_.machine),
       network_(engine, config_.machine,
@@ -96,6 +114,23 @@ Runtime::Runtime(sim::Engine& engine, Config config)
     slots_.bind(placement_[static_cast<std::size_t>(r)]);
     threads_.push_back(std::make_unique<Thread>(
         *this, r, placement_[static_cast<std::size_t>(r)]));
+  }
+  // Hand the network the real (node, endpoint) -> rank attribution table so
+  // exporters stop guessing blockwise placement (src/net/network.hpp used
+  // to document that inaccuracy).
+  {
+    std::vector<int> table(
+        static_cast<std::size_t>(config_.machine.nodes) *
+            static_cast<std::size_t>(ranks_per_node_),
+        -1);
+    for (int r = 0; r < config_.threads; ++r) {
+      const std::size_t slot =
+          static_cast<std::size_t>(node_of(r)) *
+              static_cast<std::size_t>(ranks_per_node_) +
+          static_cast<std::size_t>(endpoint_of(r));
+      if (table[slot] < 0) table[slot] = r;  // first binder owns the slot
+    }
+    network_.set_endpoint_ranks(std::move(table));
   }
   if (trace::Tracer* tr = config_.tracer) {
     tr->set_clock([eng = engine_] {
@@ -164,9 +199,51 @@ sim::Time Runtime::barrier_cost() const {
 
 int Thread::threads() const noexcept { return rt_->threads(); }
 
+bool Thread::remote_node(int owner) const {
+  return rt_->node_of(owner) != loc_.node;
+}
+
+void Thread::begin_coalesce(const comm::Params& params) {
+  if (coalescing_) {
+    throw std::logic_error(
+        "Thread::begin_coalesce: coalescing epochs do not nest (await "
+        "end_coalesce() first)");
+  }
+  if (coalescer_ == nullptr) {
+    coalescer_ = std::make_unique<comm::Coalescer>(
+        rt_->network(), rank_, loc_.node, rt_->endpoint_of(rank_),
+        rt_->tracer());
+  }
+  coalescer_->configure(params);
+  coalescing_ = true;
+  HUPC_TRACE_COUNT(rt_->tracer(), "comm.epoch.begin", rank_);
+}
+
+sim::Task<void> Thread::end_coalesce() {
+  if (!coalescing_) {
+    throw std::logic_error("Thread::end_coalesce: no epoch open");
+  }
+  HUPC_TRACE_COUNT(rt_->tracer(), "comm.epoch.end", rank_);
+  coalescing_ = false;
+  co_await coalescer_->flush_all(comm::FlushCause::fence);
+}
+
+sim::Task<void> Thread::coalesce_flush() {
+  if (coalescing_) {
+    co_await coalescer_->flush_all(comm::FlushCause::fence);
+  }
+}
+
+void Thread::abandon_coalesce() noexcept {
+  if (!coalescing_) return;
+  coalescing_ = false;
+  coalescer_->abandon();
+}
+
 sim::Task<void> Thread::barrier() {
   HUPC_TRACE_SCOPE(rt_->tracer(), trace::Category::gas, "barrier", rank_);
   HUPC_TRACE_COUNT(rt_->tracer(), "gas.barrier", rank_);
+  co_await coalesce_flush();  // fence: buffered puts visible past the barrier
   co_await rt_->barrier_.arrive_and_wait();
   co_await sim::delay(rt_->engine(), rt_->barrier_cost());
 }
@@ -180,6 +257,7 @@ std::uint64_t Thread::notify() {
 sim::Task<void> Thread::wait(std::uint64_t token) {
   HUPC_TRACE_SCOPE(rt_->tracer(), trace::Category::gas, "barrier.wait", rank_,
                    token);
+  co_await coalesce_flush();  // fence, same as the full barrier
   co_await rt_->barrier_.wait_phase(token);
   co_await sim::delay(rt_->engine(), rt_->barrier_cost());
 }
@@ -202,8 +280,10 @@ sim::Task<void> Thread::stream_from(int home_rank, double bytes) {
     co_await rt_->memory().stream(loc_, home, bytes);
   } else {
     // Cross-node bulk pull: the data leg flows home -> here.
-    co_await rt_->network().rma(home.node, home_rank % rt_->ranks_per_node(),
-                                loc_.node, bytes);
+    co_await rt_->network().rma({.src_node = home.node,
+                                 .src_ep = rt_->endpoint_of(home_rank),
+                                 .dst_node = loc_.node,
+                                 .bytes = bytes});
   }
 }
 
@@ -246,13 +326,45 @@ sim::Task<void> Thread::element_access(int owner, std::size_t bytes) {
     co_await rt_->memory().access(loc_, home, 1, static_cast<double>(bytes));
   } else {
     // Remote element access: a small network message each way bounds it.
-    co_await rt_->network().rma(loc_.node, rank_ % rt_->ranks_per_node(),
-                                home.node, static_cast<double>(bytes));
+    co_await rt_->network().rma({.src_node = loc_.node,
+                                 .src_ep = rt_->endpoint_of(rank_),
+                                 .dst_node = home.node,
+                                 .bytes = static_cast<double>(bytes)});
   }
+}
+
+sim::Task<void> Thread::read_access(int owner, const void* addr,
+                                    std::size_t bytes) {
+  if (coalescing_ && remote_node(owner)) {
+    HUPC_TRACE_INSTANT(rt_->tracer(), trace::Category::gas, "element.coalesced",
+                       rank_, bytes, static_cast<std::uint64_t>(owner));
+    HUPC_TRACE_COUNT(rt_->tracer(), "gas.access.coalesced", rank_);
+    // Pointer translation is CPU work; coalescing only amortizes the
+    // network side of the access.
+    co_await compute(rt_->config().costs.ptr_overhead_s);
+    co_await coalescer_->read(rt_->node_of(owner), addr, bytes);
+    co_return;
+  }
+  co_await element_access(owner, bytes);
+}
+
+sim::Task<void> Thread::coalesced_put(int owner, void* dst, const void* value,
+                                      std::size_t bytes) {
+  HUPC_TRACE_INSTANT(rt_->tracer(), trace::Category::gas, "element.coalesced",
+                     rank_, bytes, static_cast<std::uint64_t>(owner));
+  HUPC_TRACE_COUNT(rt_->tracer(), "gas.access.coalesced", rank_);
+  co_await compute(rt_->config().costs.ptr_overhead_s);
+  co_await coalescer_->put(rt_->node_of(owner), dst, value, bytes);
 }
 
 sim::Task<void> Thread::copy_raw_from(topo::HwLoc at, int peer, void* dst,
                                       const void* src, std::size_t bytes) {
+  if (coalescing_) {
+    // Fence the destination's buffer: the bulk transfer must be ordered
+    // after (and observe) earlier buffered puts to the same node. flush()
+    // no-ops when that destination holds nothing.
+    co_await coalescer_->flush(rt_->node_of(peer), comm::FlushCause::fence);
+  }
   if (dst != nullptr && src != nullptr && bytes > 0) {
     std::memcpy(dst, src, bytes);  // the real data moves unconditionally
   }
@@ -283,14 +395,19 @@ sim::Task<void> Thread::copy_raw_from(topo::HwLoc at, int peer, void* dst,
                         sim::from_seconds(costs.loopback_overhead_s));
     auto src_mem = rt_->memory().stream_async(at, at, 2.0 * b);
     auto dst_mem = rt_->memory().stream_async(at, peer_loc, 2.0 * b);
-    co_await rt_->network().loopback(at.node, rank_ % rt_->ranks_per_node(), b,
+    co_await rt_->network().loopback({.src_node = at.node,
+                                      .src_ep = rt_->endpoint_of(rank_),
+                                      .dst_node = at.node,
+                                      .bytes = b},
                                      costs.loopback_bw);
     co_await src_mem.wait();
     co_await dst_mem.wait();
   } else {
     HUPC_TRACE_COUNT(rt_->tracer(), "gas.copy.rma", rank_);
-    co_await rt_->network().rma(at.node, rank_ % rt_->ranks_per_node(),
-                                peer_loc.node, b);
+    co_await rt_->network().rma({.src_node = at.node,
+                                 .src_ep = rt_->endpoint_of(rank_),
+                                 .dst_node = peer_loc.node,
+                                 .bytes = b});
   }
 }
 

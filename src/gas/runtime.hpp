@@ -12,6 +12,18 @@
 // time through the mem/net cost models. Fine-grained shared accesses pay
 // the shared-pointer translation overhead unless privatized (Thread::cast),
 // reproducing the castability extension of thesis §3.2/§3.3.1.
+//
+// Data movement funnels through two unified entry points:
+//   Thread::copy / copy_async  — bulk transfers over every shape
+//     (private<->shared, shared<->shared); the upc_mem{put,get,cpy} names
+//     survive as thin wrappers;
+//   fine-grained get/put/AMOs  — one shared-API round trip each, UNLESS a
+//     coalescing epoch is open (Thread::begin_coalesce/end_coalesce or the
+//     CoalesceEpoch RAII guard), in which case remote accesses aggregate
+//     into per-destination buffers flushed as one message per destination
+//     (comm::Coalescer; Berkeley-UPC/GASNet-VIS-style software
+//     aggregation). With no epoch open every path is bit-identical to a
+//     build without the coalescing engine.
 #pragma once
 
 #include <cassert>
@@ -21,6 +33,7 @@
 #include <memory>
 #include <vector>
 
+#include "comm/coalescer.hpp"
 #include "fault/hooks.hpp"
 #include "gas/global_ptr.hpp"
 #include "gas/heap.hpp"
@@ -95,6 +108,14 @@ class Thread {
   Thread(Runtime& rt, int rank, topo::HwLoc loc)
       : rt_(&rt), rank_(rank), loc_(loc) {}
 
+  Thread(const Thread&) = delete;
+  Thread& operator=(const Thread&) = delete;
+  ~Thread() {
+    // An epoch abandoned mid-kernel (exception unwind) still applies its
+    // deferred puts so host memory stays verifiable.
+    if (coalescer_ != nullptr) coalescer_->abandon();
+  }
+
   [[nodiscard]] int rank() const noexcept { return rank_; }
   [[nodiscard]] int threads() const noexcept;
   [[nodiscard]] topo::HwLoc loc() const noexcept { return loc_; }
@@ -102,9 +123,13 @@ class Thread {
   [[nodiscard]] Runtime& runtime() noexcept { return *rt_; }
 
   // --- synchronization -------------------------------------------------
+  /// Full barrier. Fence: flushes any open coalescing epoch first, so
+  /// buffered puts are globally visible once every rank passes.
   [[nodiscard]] sim::Task<void> barrier();
   /// Split-phase barrier: capture the token from notify(), overlap work,
-  /// then co_await wait(token).
+  /// then co_await wait(token). notify() cannot flush (it never blocks);
+  /// with an epoch open, flush explicitly or end the epoch first. wait()
+  /// fences like barrier().
   [[nodiscard]] std::uint64_t notify();
   [[nodiscard]] sim::Task<void> wait(std::uint64_t token);
 
@@ -123,10 +148,31 @@ class Thread {
                                             double bytes_each,
                                             bool privatized = false);
 
+  // --- message coalescing epochs (comm::Coalescer) ----------------------
+  /// Open a coalescing epoch: until end_coalesce(), fine-grained accesses
+  /// to ranks on OTHER nodes append to bounded per-destination buffers and
+  /// flush as one aggregated message per destination (on capacity, on a
+  /// conflicting read, at barriers/bulk copies, and at epoch end). Puts
+  /// are deferred until flush; gets/AMOs apply immediately and settle
+  /// their network cost at flush. Epochs do not nest.
+  void begin_coalesce(const comm::Params& params = {});
+  /// Flush everything and close the epoch.
+  [[nodiscard]] sim::Task<void> end_coalesce();
+  /// Explicit fence: flush all buffers, keep the epoch open.
+  [[nodiscard]] sim::Task<void> coalesce_flush();
+  /// Close the epoch applying buffered puts WITHOUT charging their flush
+  /// (the CoalesceEpoch guard's unwind path — prefer end_coalesce()).
+  void abandon_coalesce() noexcept;
+  [[nodiscard]] bool coalescing() const noexcept { return coalescing_; }
+  /// Lifetime coalescing statistics (null before the first epoch).
+  [[nodiscard]] const comm::Stats* coalesce_stats() const noexcept {
+    return coalescer_ == nullptr ? nullptr : &coalescer_->stats();
+  }
+
   // --- fine-grained element access (really reads/writes memory) --------
   template <class T>
   [[nodiscard]] sim::Task<T> get(GlobalPtr<const T> src) {
-    co_await element_access(src.owner, sizeof(T));
+    co_await read_access(src.owner, src.raw, sizeof(T));
     co_return *src.raw;
   }
   template <class T>
@@ -135,23 +181,30 @@ class Thread {
   }
   template <class T>
   [[nodiscard]] sim::Task<void> put(GlobalPtr<T> dst, T value) {
+    if (coalescing_ && remote_node(dst.owner)) {
+      co_await coalesced_put(dst.owner, dst.raw, &value, sizeof(T));
+      co_return;
+    }
     co_await element_access(dst.owner, sizeof(T));
     *dst.raw = value;
   }
 
   // --- atomics (the bupc AMO extensions) --------------------------------
   /// Atomic fetch-and-add on a shared integer; costs one shared access
-  /// (remote AMOs are a network round trip, like locks).
+  /// (remote AMOs are a network round trip, like locks) — or, inside a
+  /// coalescing epoch, joins the destination's aggregated message (the
+  /// value applies immediately; read-your-writes is preserved by the
+  /// conflict flush).
   template <class T>
   [[nodiscard]] sim::Task<T> fetch_add(GlobalPtr<T> target, T delta) {
-    co_await element_access(target.owner, sizeof(T));
+    co_await read_access(target.owner, target.raw, sizeof(T));
     const T old = *target.raw;
     *target.raw = old + delta;
     co_return old;
   }
   template <class T>
   [[nodiscard]] sim::Task<T> fetch_xor(GlobalPtr<T> target, T mask) {
-    co_await element_access(target.owner, sizeof(T));
+    co_await read_access(target.owner, target.raw, sizeof(T));
     const T old = *target.raw;
     *target.raw = old ^ mask;
     co_return old;
@@ -160,47 +213,100 @@ class Thread {
   template <class T>
   [[nodiscard]] sim::Task<T> compare_swap(GlobalPtr<T> target, T expected,
                                           T desired) {
-    co_await element_access(target.owner, sizeof(T));
+    co_await read_access(target.owner, target.raw, sizeof(T));
     const T old = *target.raw;
     if (old == expected) *target.raw = desired;
     co_return old;
   }
 
-  // --- bulk copies (upc_mem{put,get,cpy} analogues) ---------------------
+  // --- unified bulk data movement (upc_mem{put,get,cpy} analogues) ------
+  /// One overload set covers every bulk shape; inside a coalescing epoch
+  /// the destination's buffer is fenced first, keeping bulk transfers
+  /// ordered after earlier buffered puts to the same node.
+  /// Private -> shared (upc_memput).
+  template <class T>
+  [[nodiscard]] sim::Task<void> copy(GlobalPtr<T> dst, const T* src,
+                                     std::size_t count) {
+    co_await copy_raw(dst.owner, dst.raw, src, count * sizeof(T));
+  }
+  /// Shared -> private (upc_memget).
+  template <class T>
+  [[nodiscard]] sim::Task<void> copy(T* dst, GlobalPtr<const T> src,
+                                     std::size_t count) {
+    co_await copy_raw(src.owner, dst, src.raw, count * sizeof(T));
+  }
+  template <class T>
+  [[nodiscard]] sim::Task<void> copy(T* dst, GlobalPtr<T> src,
+                                     std::size_t count) {
+    co_await copy(dst, to_const(src), count);
+  }
+  /// Shared -> shared (upc_memcpy): charged against the remote party.
+  template <class T>
+  [[nodiscard]] sim::Task<void> copy(GlobalPtr<T> dst, GlobalPtr<const T> src,
+                                     std::size_t count) {
+    const int peer = dst.owner == rank_ ? src.owner : dst.owner;
+    co_await copy_raw(peer, dst.raw, src.raw, count * sizeof(T));
+  }
+  template <class T>
+  [[nodiscard]] sim::Task<void> copy(GlobalPtr<T> dst, GlobalPtr<T> src,
+                                     std::size_t count) {
+    co_await copy(dst, to_const(src), count);
+  }
+
+  // Non-blocking forms returning futures (upc_mem*_async / waitsync).
+  template <class T>
+  [[nodiscard]] sim::Future<> copy_async(GlobalPtr<T> dst, const T* src,
+                                         std::size_t count) {
+    return start_async(copy(dst, src, count));
+  }
+  template <class T>
+  [[nodiscard]] sim::Future<> copy_async(T* dst, GlobalPtr<const T> src,
+                                         std::size_t count) {
+    return start_async(copy(dst, src, count));
+  }
+  template <class T>
+  [[nodiscard]] sim::Future<> copy_async(T* dst, GlobalPtr<T> src,
+                                         std::size_t count) {
+    return start_async(copy(dst, src, count));
+  }
+  template <class T>
+  [[nodiscard]] sim::Future<> copy_async(GlobalPtr<T> dst,
+                                         GlobalPtr<const T> src,
+                                         std::size_t count) {
+    return start_async(copy(dst, src, count));
+  }
+
+  // --- legacy bulk-copy names (thin wrappers over copy/copy_async) ------
   template <class T>
   [[nodiscard]] sim::Task<void> memput(GlobalPtr<T> dst, const T* src,
                                        std::size_t count) {
-    co_await copy_raw(dst.owner, dst.raw, src, count * sizeof(T));
+    return copy(dst, src, count);
   }
   template <class T>
   [[nodiscard]] sim::Task<void> memget(T* dst, GlobalPtr<const T> src,
                                        std::size_t count) {
-    co_await copy_raw(src.owner, dst, src.raw, count * sizeof(T));
+    return copy(dst, src, count);
   }
   template <class T>
   [[nodiscard]] sim::Task<void> memget(T* dst, GlobalPtr<T> src,
                                        std::size_t count) {
-    co_await memget(dst, to_const(src), count);
+    return copy(dst, src, count);
   }
-  /// Shared-to-shared copy (upc_memcpy): charged against the remote party.
   template <class T>
   [[nodiscard]] sim::Task<void> memcpy_shared(GlobalPtr<T> dst,
                                               GlobalPtr<const T> src,
                                               std::size_t count) {
-    const int peer = dst.owner == rank_ ? src.owner : dst.owner;
-    co_await copy_raw(peer, dst.raw, src.raw, count * sizeof(T));
+    return copy(dst, src, count);
   }
-
-  // Non-blocking forms returning futures (upc_memput_async / waitsync).
   template <class T>
   [[nodiscard]] sim::Future<> memput_async(GlobalPtr<T> dst, const T* src,
                                            std::size_t count) {
-    return start_async(memput(dst, src, count));
+    return copy_async(dst, src, count);
   }
   template <class T>
   [[nodiscard]] sim::Future<> memget_async(T* dst, GlobalPtr<const T> src,
                                            std::size_t count) {
-    return start_async(memget(dst, src, count));
+    return copy_async(dst, src, count);
   }
 
   // --- privatization (bupc_cast / castability extension) ---------------
@@ -213,9 +319,11 @@ class Thread {
   [[nodiscard]] bool castable(int owner) const;
 
   /// Cost of reading one word of another thread's shared metadata (e.g. a
-  /// steal-stack's work counter) without moving payload.
+  /// steal-stack's work counter) without moving payload. Coalescible: the
+  /// probe has no conflicting address, so inside an epoch it joins the
+  /// destination's aggregate unconditionally.
   [[nodiscard]] sim::Task<void> shared_probe_cost(int owner) {
-    return element_access(owner, sizeof(std::uint64_t));
+    return read_access(owner, nullptr, sizeof(std::uint64_t));
   }
 
   // Plumbing shared with the sub-thread layer (hupc::core).
@@ -230,10 +338,49 @@ class Thread {
 
  private:
   [[nodiscard]] sim::Task<void> element_access(int owner, std::size_t bytes);
+  /// Read-class fine-grained access (get / AMO / metadata probe): routes
+  /// through the coalescer inside an epoch (conflict-flushing buffered
+  /// puts overlapping [addr, addr+bytes)), else charges element_access.
+  [[nodiscard]] sim::Task<void> read_access(int owner, const void* addr,
+                                            std::size_t bytes);
+  /// Deferred fine-grained put through the open epoch's coalescer.
+  [[nodiscard]] sim::Task<void> coalesced_put(int owner, void* dst,
+                                              const void* value,
+                                              std::size_t bytes);
+  [[nodiscard]] bool remote_node(int owner) const;
 
   Runtime* rt_;
   int rank_;
   topo::HwLoc loc_;
+  bool coalescing_ = false;
+  std::unique_ptr<comm::Coalescer> coalescer_;  // lazily built, reused
+};
+
+/// RAII coalescing epoch: opens on construction; co_await end() to flush
+/// and close. If the guard unwinds without end() (exception), the epoch is
+/// abandoned — deferred puts still apply to memory, uncharged, and the
+/// discrepancy is counted in comm::Stats::abandoned_ops.
+class CoalesceEpoch {
+ public:
+  explicit CoalesceEpoch(Thread& t, const comm::Params& params = {})
+      : thread_(&t) {
+    t.begin_coalesce(params);
+  }
+  CoalesceEpoch(const CoalesceEpoch&) = delete;
+  CoalesceEpoch& operator=(const CoalesceEpoch&) = delete;
+  ~CoalesceEpoch() {
+    if (open_) thread_->abandon_coalesce();
+  }
+
+  /// Flush + close. Must be awaited on every non-exceptional path.
+  [[nodiscard]] sim::Task<void> end() {
+    open_ = false;
+    return thread_->end_coalesce();
+  }
+
+ private:
+  Thread* thread_;
+  bool open_ = true;
 };
 
 class Runtime {
@@ -260,6 +407,12 @@ class Runtime {
     return placement_[static_cast<std::size_t>(rank)];
   }
   [[nodiscard]] int node_of(int rank) const { return loc_of(rank).node; }
+  /// Node-local network endpoint index of `rank` under the ACTUAL placement
+  /// table (not the blockwise assumption): the i-th rank placed on a node
+  /// gets endpoint i. Network counters and trace attribution key on this.
+  [[nodiscard]] int endpoint_of(int rank) const {
+    return endpoint_of_rank_[static_cast<std::size_t>(rank)];
+  }
   /// True when `a` and `b` share load/store access to each other's
   /// segments (same process under pthreads, or PSHM-mapped same node).
   [[nodiscard]] bool same_supernode(int a, int b) const;
@@ -300,6 +453,7 @@ class Runtime {
   std::vector<topo::HwLoc> placement_;
   int ranks_per_node_;
   int nodes_used_;
+  std::vector<int> endpoint_of_rank_;
   topo::SlotAllocator slots_;
   mem::MemorySystem memory_;
   net::Network network_;

@@ -32,9 +32,11 @@ sim::Task<void> Mpi::matched_transfer(gas::Thread& self, int sender,
   if (dst != nullptr && src != nullptr && bytes > 0) {
     std::memcpy(dst, src, bytes);
   }
-  co_await rt.network().rma(rt.node_of(sender), sender % rt.ranks_per_node(),
-                            rt.node_of(receiver), static_cast<double>(bytes),
-                            api_scale);
+  co_await rt.network().rma({.src_node = rt.node_of(sender),
+                             .src_ep = rt.endpoint_of(sender),
+                             .dst_node = rt.node_of(receiver),
+                             .bytes = static_cast<double>(bytes),
+                             .api_scale = api_scale});
 }
 
 sim::Task<void> Mpi::send_impl(gas::Thread& self, int dst, int tag,

@@ -43,23 +43,28 @@ sim::Mutex& Network::connection(int node, int endpoint) {
   return *connections_[static_cast<std::size_t>(node * conns_per_node + local)];
 }
 
-sim::Task<void> Network::rma(int src_node, int src_ep, int dst_node,
-                             double bytes, double api_scale) {
-  assert(src_node != dst_node &&
+sim::Task<void> Network::rma(Transfer t) {
+  assert(t.src_node != t.dst_node &&
          "intra-node traffic takes the shared-memory path in hupc::gas");
-  const int rank = trace_rank(src_node, src_ep);
+  const int rank = trace_rank(t.src_node, t.src_ep);
   HUPC_TRACE_SCOPE(tracer_, trace::Category::net, "rma", rank,
-                   static_cast<std::uint64_t>(bytes),
-                   static_cast<std::uint64_t>(dst_node));
+                   static_cast<std::uint64_t>(t.bytes),
+                   static_cast<std::uint64_t>(t.dst_node));
   HUPC_TRACE_INSTANT(tracer_, trace::Category::net, "inject", rank,
-                     static_cast<std::uint64_t>(bytes),
-                     static_cast<std::uint64_t>(dst_node));
+                     static_cast<std::uint64_t>(t.bytes),
+                     static_cast<std::uint64_t>(t.dst_node));
   HUPC_TRACE_COUNT(tracer_, "net.msg", rank);
   HUPC_TRACE_COUNT(tracer_, "net.bytes", rank,
-                   static_cast<std::uint64_t>(bytes));
-  auto& src_counters = counters_[static_cast<std::size_t>(src_node)];
+                   static_cast<std::uint64_t>(t.bytes));
+  auto& src_counters = counters_[static_cast<std::size_t>(t.src_node)];
   ++src_counters.messages;
-  src_counters.bytes += bytes;
+  src_counters.bytes += t.bytes;
+  if (t.coalesced_count > 1) {
+    ++src_counters.aggregated;
+    src_counters.coalesced_ops += t.coalesced_count;
+    HUPC_TRACE_COUNT(tracer_, "net.aggregated", rank);
+    HUPC_TRACE_COUNT(tracer_, "net.coalesced_ops", rank, t.coalesced_count);
+  }
 
   // Fault injection: one consultation per message. The mutation can hold
   // the message (a dark link buffers it until recovery) and/or degrade its
@@ -67,7 +72,7 @@ sim::Task<void> Network::rma(int src_node, int src_ep, int dst_node,
   double wire_cap = conduit_.conn_bw;
   if (fault_ != nullptr) {
     const fault::MessageMutation mut =
-        fault_->on_message(src_node, dst_node, bytes);
+        fault_->on_message(t.src_node, t.dst_node, t.bytes);
     if (mut.hold_s > 0.0) {
       HUPC_TRACE_COUNT(tracer_, "fault.msg.hold", rank);
       co_await sim::delay(*engine_, sim::from_seconds(mut.hold_s));
@@ -90,8 +95,8 @@ sim::Task<void> Network::rma(int src_node, int src_ep, int dst_node,
     // Queue wait + service on the node's software path: the per-connection
     // queueing the thesis blames for pthreads' small-message gap.
     HUPC_TRACE_SCOPE(tracer_, trace::Category::net, "api_queue", rank);
-    co_await api_queues_[static_cast<std::size_t>(src_node)]->serve(
-        sim::from_seconds(api * api_scale));
+    co_await api_queues_[static_cast<std::size_t>(t.src_node)]->serve(
+        sim::from_seconds(api * t.api_scale));
   }
 
   // Injection: the connection is held for the send overhead plus the
@@ -103,19 +108,19 @@ sim::Task<void> Network::rma(int src_node, int src_ep, int dst_node,
   // single-flow ceiling while additional ranks add concurrent flows until
   // the NIC saturates.
   auto& endpoint = *endpoints_[static_cast<std::size_t>(
-      src_node * endpoints_per_node_ + src_ep % endpoints_per_node_)];
+      t.src_node * endpoints_per_node_ + t.src_ep % endpoints_per_node_)];
   co_await endpoint.lock();
   sim::ScopedLock pipeline(endpoint);
   sim::Future<> src_leg, dst_leg;
   {
-    auto& conn = connection(src_node, src_ep);
+    auto& conn = connection(t.src_node, t.src_ep);
     co_await conn.lock();
     sim::ScopedLock guard(conn);
     co_await sim::delay(*engine_, sim::from_seconds(conduit_.send_overhead_s));
-    src_leg = nic(src_node).transfer_async(bytes, wire_cap);
-    dst_leg = nic(dst_node).transfer_async(bytes, wire_cap);
+    src_leg = nic(t.src_node).transfer_async(t.bytes, wire_cap);
+    dst_leg = nic(t.dst_node).transfer_async(t.bytes, wire_cap);
     co_await sim::delay(*engine_,
-                        sim::from_seconds(bytes / conduit_.stage_bw));
+                        sim::from_seconds(t.bytes / conduit_.stage_bw));
   }
   co_await src_leg.wait();
   co_await dst_leg.wait();
@@ -125,46 +130,43 @@ sim::Task<void> Network::rma(int src_node, int src_ep, int dst_node,
       *engine_,
       sim::from_seconds(conduit_.latency_s + conduit_.recv_overhead_s));
   HUPC_TRACE_INSTANT(tracer_, trace::Category::net, "deliver", rank,
-                     static_cast<std::uint64_t>(bytes),
-                     static_cast<std::uint64_t>(dst_node));
+                     static_cast<std::uint64_t>(t.bytes),
+                     static_cast<std::uint64_t>(t.dst_node));
   HUPC_TRACE_COUNT(tracer_, "net.delivered", rank);
 }
 
-sim::Task<void> Network::loopback(int node, int src_ep, double bytes,
-                                  double loopback_bw) {
-  const int rank = trace_rank(node, src_ep);
+sim::Task<void> Network::loopback(Transfer t, double loopback_bw) {
+  const int rank = trace_rank(t.src_node, t.src_ep);
   HUPC_TRACE_SCOPE(tracer_, trace::Category::net, "loopback", rank,
-                   static_cast<std::uint64_t>(bytes));
+                   static_cast<std::uint64_t>(t.bytes));
   HUPC_TRACE_COUNT(tracer_, "net.loopback", rank);
   const double api = mode_ == ConnectionMode::per_process
                          ? conduit_.api_overhead_process_s
                          : conduit_.api_overhead_shared_s;
   {
     HUPC_TRACE_SCOPE(tracer_, trace::Category::net, "api_queue", rank);
-    co_await api_queues_[static_cast<std::size_t>(node)]->serve(
-        sim::from_seconds(api));
+    co_await api_queues_[static_cast<std::size_t>(t.src_node)]->serve(
+        sim::from_seconds(api * t.api_scale));
   }
 
   auto& endpoint = *endpoints_[static_cast<std::size_t>(
-      node * endpoints_per_node_ + src_ep % endpoints_per_node_)];
+      t.src_node * endpoints_per_node_ + t.src_ep % endpoints_per_node_)];
   co_await endpoint.lock();
   sim::ScopedLock pipeline(endpoint);
   {
-    auto& conn = connection(node, src_ep);
+    auto& conn = connection(t.src_node, t.src_ep);
     co_await conn.lock();
     sim::ScopedLock guard(conn);
     co_await sim::delay(*engine_, sim::from_seconds(conduit_.send_overhead_s));
     co_await sim::delay(*engine_,
-                        sim::from_seconds(bytes / conduit_.stage_bw));
+                        sim::from_seconds(t.bytes / conduit_.stage_bw));
   }
-  co_await sim::delay(*engine_, sim::from_seconds(bytes / loopback_bw +
+  co_await sim::delay(*engine_, sim::from_seconds(t.bytes / loopback_bw +
                                                   conduit_.recv_overhead_s));
 }
 
-sim::Future<> Network::rma_async(int src_node, int src_ep, int dst_node,
-                                 double bytes, double api_scale) {
-  return sim::start(*engine_,
-                    rma(src_node, src_ep, dst_node, bytes, api_scale));
+sim::Future<> Network::rma_async(Transfer t) {
+  return sim::start(*engine_, rma(t));
 }
 
 std::uint64_t Network::total_messages() const noexcept {
@@ -176,6 +178,18 @@ std::uint64_t Network::total_messages() const noexcept {
 double Network::total_bytes() const noexcept {
   double total = 0;
   for (const auto& c : counters_) total += c.bytes;
+  return total;
+}
+
+std::uint64_t Network::total_aggregated() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& c : counters_) total += c.aggregated;
+  return total;
+}
+
+std::uint64_t Network::total_coalesced_ops() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& c : counters_) total += c.coalesced_ops;
   return total;
 }
 

@@ -5,6 +5,11 @@
 // one-sided bulk transfer and completes when the payload is remotely
 // delivered; rma_async() is its non-blocking form.
 //
+// Every transfer is described by a net::Transfer descriptor instead of a
+// growing positional-parameter list; aggregated (coalesced) messages carry
+// the number of fine-grained operations they absorbed so the counters can
+// reconcile message rates with logical access rates.
+//
 // Counters record message/byte volumes per endpoint so benches can report
 // messaging rates and verify communication schedules.
 #pragma once
@@ -25,11 +30,31 @@
 
 namespace hupc::net {
 
+/// One-sided transfer descriptor (the argument to rma / rma_async /
+/// loopback). `src_ep` is the node-local endpoint index of the issuing
+/// rank; `api_scale` scales the per-message shared-API service cost —
+/// tuned collective engines batch doorbells/completions and pay a fraction
+/// of the per-message cost independent endpoints do. `coalesced_count > 1`
+/// marks an aggregated message carrying that many fine-grained operations
+/// (one comm::Coalescer flush); it affects accounting only, never timing.
+struct Transfer {
+  int src_node = -1;
+  int src_ep = 0;
+  int dst_node = -1;
+  double bytes = 0.0;
+  double api_scale = 1.0;
+  std::uint64_t coalesced_count = 1;
+};
+
 class Network {
  public:
   struct Counters {
     std::uint64_t messages = 0;
     double bytes = 0.0;
+    /// Aggregated messages (Transfer::coalesced_count > 1) injected from
+    /// this node, and the fine-grained operations they carried.
+    std::uint64_t aggregated = 0;
+    std::uint64_t coalesced_ops = 0;
   };
 
   /// `endpoints_per_node` — how many distinct endpoints (UPC ranks) may
@@ -37,24 +62,19 @@ class Network {
   Network(sim::Engine& engine, const topo::MachineSpec& machine,
           ConduitSpec conduit, ConnectionMode mode, int endpoints_per_node);
 
-  /// One-sided transfer of `bytes` from endpoint `src_ep` (node-local
-  /// index) on `src_node` to `dst_node`. Completes at remote delivery.
-  /// `api_scale` scales the per-message shared-API service cost — tuned
-  /// collective engines batch doorbells/completions and pay a fraction of
-  /// the per-message cost independent endpoints do.
-  [[nodiscard]] sim::Task<void> rma(int src_node, int src_ep, int dst_node,
-                                    double bytes, double api_scale = 1.0);
+  /// One-sided transfer of `t.bytes` from endpoint `t.src_ep` (node-local
+  /// index) on `t.src_node` to `t.dst_node`. Completes at remote delivery.
+  [[nodiscard]] sim::Task<void> rma(Transfer t);
 
-  [[nodiscard]] sim::Future<> rma_async(int src_node, int src_ep, int dst_node,
-                                        double bytes, double api_scale = 1.0);
+  [[nodiscard]] sim::Future<> rma_async(Transfer t);
 
   /// Intra-node transfer through the network stack (the no-PSHM loopback
   /// path): pays API, injection and endpoint-pipeline costs like a real
   /// message — contending with genuine network traffic — but moves at
   /// `loopback_bw` instead of crossing the wire. This contention is what
-  /// PSHM eliminates (thesis §3.1, Fig 3.4).
-  [[nodiscard]] sim::Task<void> loopback(int node, int src_ep, double bytes,
-                                         double loopback_bw);
+  /// PSHM eliminates (thesis §3.1, Fig 3.4). `t.dst_node` is ignored (the
+  /// message never leaves `t.src_node`).
+  [[nodiscard]] sim::Task<void> loopback(Transfer t, double loopback_bw);
 
   [[nodiscard]] const ConduitSpec& conduit() const noexcept { return conduit_; }
   [[nodiscard]] ConnectionMode mode() const noexcept { return mode_; }
@@ -63,6 +83,8 @@ class Network {
   }
   [[nodiscard]] std::uint64_t total_messages() const noexcept;
   [[nodiscard]] double total_bytes() const noexcept;
+  [[nodiscard]] std::uint64_t total_aggregated() const noexcept;
+  [[nodiscard]] std::uint64_t total_coalesced_ops() const noexcept;
 
   [[nodiscard]] sim::FluidLink& nic(int node) {
     return *nics_[static_cast<std::size_t>(node)];
@@ -72,20 +94,37 @@ class Network {
   /// instants plus per-connection queueing scopes are recorded.
   void set_tracer(trace::Tracer* tracer) noexcept { tracer_ = tracer; }
 
+  /// Install the actual (node, endpoint) -> global rank attribution table,
+  /// flattened as `table[node * endpoints_per_node + ep]` with -1 for
+  /// unused endpoint slots. The owning runtime derives it from its real
+  /// placement table; without one trace_rank falls back to assuming
+  /// blockwise placement (exact for every current preset, wrong in
+  /// general — the documented inaccuracy this table removes).
+  void set_endpoint_ranks(std::vector<int> table) {
+    endpoint_ranks_ = std::move(table);
+  }
+
   /// Attach a fault-injection hook (non-owning, may be null): every rma()
   /// consults it once at injection and applies the returned mutation —
   /// an extra hold before entering the API queue (latency spikes, link
   /// blackouts) and/or a scaled per-flow wire cap (bandwidth dips). The
   /// payload itself is never mutated, so byte conservation must survive
-  /// any plan.
+  /// any plan. Aggregated (coalesced) flush messages pass through the
+  /// same seam: one consultation per flush, like any other message.
   void set_fault(fault::MessageHook* hook) noexcept { fault_ = hook; }
 
  private:
   [[nodiscard]] sim::Mutex& connection(int node, int endpoint);
-  /// Global rank the exporters attribute endpoint traffic to; exact under
-  /// the blockwise node placement every preset uses.
+  /// Global rank the exporters attribute endpoint traffic to: looked up in
+  /// the placement-derived endpoint table when installed, else the
+  /// blockwise-placement guess.
   [[nodiscard]] int trace_rank(int node, int endpoint) const noexcept {
-    return node * endpoints_per_node_ + endpoint % endpoints_per_node_;
+    const std::size_t slot = static_cast<std::size_t>(
+        node * endpoints_per_node_ + endpoint % endpoints_per_node_);
+    if (slot < endpoint_ranks_.size() && endpoint_ranks_[slot] >= 0) {
+      return endpoint_ranks_[slot];
+    }
+    return static_cast<int>(slot);
   }
 
   sim::Engine* engine_;
@@ -94,6 +133,7 @@ class Network {
   int endpoints_per_node_;
   trace::Tracer* tracer_ = nullptr;
   fault::MessageHook* fault_ = nullptr;
+  std::vector<int> endpoint_ranks_;  // (node, ep) -> rank; empty = blockwise
   std::vector<std::unique_ptr<sim::FluidLink>> nics_;
   std::vector<std::unique_ptr<sim::Mutex>> connections_;
   // One per logical endpoint: a thread's wire transfers pipeline serially

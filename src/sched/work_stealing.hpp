@@ -25,6 +25,7 @@
 #include <memory>
 #include <vector>
 
+#include "comm/coalescer.hpp"
 #include "fault/hooks.hpp"
 #include "gas/gas.hpp"
 #include "sched/steal_stack.hpp"
@@ -45,6 +46,13 @@ struct StealParams {
   double bytes_per_item = 24.0;  // payload per stolen item
   int batch = 64;                // items processed per virtual-time charge
   std::uint64_t seed = 0x5EED;
+  /// Run each discovery sweep's remote probe reads inside a coalescing
+  /// epoch: the 8-byte work-counter peeks at every victim on one node
+  /// aggregate into a single metadata message instead of one API call per
+  /// probe. The epoch always closes before an actual steal transfer, so
+  /// stolen payloads still ship on the bulk path.
+  bool coalesce_probes = false;
+  comm::Params coalesce{};
   /// Test-only: plant an off-by-one in the rapid-diffusion split (the
   /// boundary item is duplicated across the split). Exists so fuzz tests
   /// can prove fault::Fuzzer catches real conservation bugs; never enable
@@ -191,6 +199,7 @@ class WorkStealing {
     }
 
     std::vector<T> loot;
+    if (params_.coalesce_probes) self.begin_coalesce(params_.coalesce);
     for (int victim : order) {
       const bool victim_local = rt_->node_of(victim) == rt_->node_of(me);
       auto& vstack = *stacks_[static_cast<std::size_t>(victim)];
@@ -209,6 +218,9 @@ class WorkStealing {
         HUPC_TRACE_COUNT(rt_->tracer(), "sched.steal.fail", me);
         continue;
       }
+      // Close the epoch before the steal itself: the stolen payload is a
+      // bulk transfer and must not queue behind buffered probe charges.
+      if (params_.coalesce_probes) co_await self.end_coalesce();
       const std::size_t got = co_await vstack.steal(
           self, loot, params_.granularity, params_.rapid_diffusion,
           params_.bytes_per_item, params_.test_split_off_by_one);
@@ -233,7 +245,10 @@ class WorkStealing {
       }
       ++stats.failed_probes;
       HUPC_TRACE_COUNT(rt_->tracer(), "sched.steal.fail", me);
+      // The failed steal closed the epoch; reopen for the remaining probes.
+      if (params_.coalesce_probes) self.begin_coalesce(params_.coalesce);
     }
+    if (params_.coalesce_probes) co_await self.end_coalesce();
     co_return false;
   }
 

@@ -26,7 +26,8 @@ bool RandomAccess::verify() const {
 }
 
 GupsResult RandomAccess::run(GupsVariant variant,
-                             std::uint64_t updates_per_thread, int passes) {
+                             std::uint64_t updates_per_thread, int passes,
+                             const comm::Params& coalesce) {
   auto& rt = *rt_;
   const int T = rt.threads();
   GupsResult result;
@@ -50,15 +51,19 @@ GupsResult RandomAccess::run(GupsVariant variant,
 
   std::uint64_t local_total = 0, remote_total = 0;
 
-  rt.spmd([&, updates_per_thread, passes, variant](gas::Thread& t)
+  rt.spmd([&, updates_per_thread, passes, variant, coalesce](gas::Thread& t)
               -> sim::Task<void> {
     co_await t.barrier();
     for (int pass = 0; pass < passes; ++pass) {
       std::uint64_t x =
           0x123456789ULL + 0x9E3779B97F4A7C15ULL *
                                static_cast<std::uint64_t>(t.rank() + 1);
-      if (variant == GupsVariant::naive) {
-        // Every update is a fine-grained shared AMO.
+      if (variant != GupsVariant::grouped) {
+        // Every update is a fine-grained shared AMO. The coalesced variant
+        // runs the IDENTICAL loop inside an epoch: the runtime batches the
+        // per-update network charges per destination node and the epoch end
+        // (plus the trailing barrier) fences everything out.
+        if (variant == GupsVariant::coalesced) t.begin_coalesce(coalesce);
         for (std::uint64_t u = 0; u < updates_per_thread; ++u) {
           x = hpcc_next(x);
           const std::uint64_t idx = x & mask_;
@@ -69,6 +74,7 @@ GupsResult RandomAccess::run(GupsVariant variant,
           }
           (void)co_await t.fetch_xor(table_.at(idx), x);
         }
+        if (variant == GupsVariant::coalesced) co_await t.end_coalesce();
       } else {
         // Thread-group optimization: privatized local updates + bucketed
         // remote shipments applied by the owner.
@@ -105,7 +111,7 @@ GupsResult RandomAccess::run(GupsVariant variant,
           auto dst = inbox[static_cast<std::size_t>(owner)] +
                      static_cast<std::ptrdiff_t>(
                          static_cast<std::uint64_t>(t.rank()) * slot_cap);
-          pending.push_back(t.memput_async(dst, b.data(), b.size()));
+          pending.push_back(t.copy_async(dst, b.data(), b.size()));
         }
         for (auto& f : pending) co_await f.wait();
         co_await t.barrier();

@@ -12,7 +12,11 @@
 //   grouped  — the thread-group optimization: updates destined for the
 //              local supernode apply through privatized pointers; remote
 //              updates are bucketed per target node and shipped in bulk to
-//              a proxy member that applies them locally.
+//              a proxy member that applies them locally;
+//   coalesced — the same fine-grained program as naive, run inside a
+//              comm::Coalescer epoch: the runtime aggregates per
+//              destination node transparently, amortizing the per-message
+//              API cost without restructuring the application loop.
 //
 // Verification follows HPCC: applying the same update stream twice must
 // restore the table to its initial contents (xor is an involution).
@@ -20,12 +24,13 @@
 
 #include <cstdint>
 
+#include "comm/coalescer.hpp"
 #include "gas/gas.hpp"
 #include "sim/sim.hpp"
 
 namespace hupc::stream {
 
-enum class GupsVariant { naive, grouped };
+enum class GupsVariant { naive, grouped, coalesced };
 
 struct GupsResult {
   double seconds = 0;
@@ -43,9 +48,12 @@ class RandomAccess {
 
   /// Run `updates_per_thread` updates on every rank; `passes` repetitions
   /// of the same stream (2 passes restore the table — verification).
+  /// `coalesce` tunes the aggregation buffers of the coalesced variant and
+  /// is ignored by the other two.
   [[nodiscard]] GupsResult run(GupsVariant variant,
                                std::uint64_t updates_per_thread,
-                               int passes = 1);
+                               int passes = 1,
+                               const comm::Params& coalesce = {});
 
   /// True when the table equals its initial contents (HPCC verification).
   [[nodiscard]] bool verify() const;

@@ -18,7 +18,7 @@ double run_single_message(net::ConduitSpec conduit, double bytes) {
   const auto m = topo::lehman(2);
   Network nw(e, m, conduit, ConnectionMode::per_process, 8);
   sim::spawn(e, [](Network& n, double b) -> sim::Task<void> {
-    co_await n.rma(0, 0, 1, b);
+    co_await n.rma({.src_node = 0, .src_ep = 0, .dst_node = 1, .bytes = b});
   }(nw, bytes));
   e.run();
   return sim::to_seconds(e.now());
@@ -52,7 +52,7 @@ double run_flood(ConnectionMode mode, int links, double bytes_each) {
   Network nw(e, m, net::ib_qdr(), mode, 8);
   for (int i = 0; i < links; ++i) {
     sim::spawn(e, [](Network& n, int ep, double b) -> sim::Task<void> {
-      co_await n.rma(0, ep, 1, b);
+      co_await n.rma({.src_node = 0, .src_ep = ep, .dst_node = 1, .bytes = b});
     }(nw, i, bytes_each));
   }
   e.run();
@@ -84,9 +84,9 @@ TEST(Network, CountersTrackMessagesAndBytes) {
   const auto m = topo::lehman(3);
   Network nw(e, m, net::ib_qdr(), ConnectionMode::per_process, 8);
   sim::spawn(e, [](Network& n) -> sim::Task<void> {
-    co_await n.rma(0, 0, 1, 100.0);
-    co_await n.rma(0, 1, 2, 200.0);
-    co_await n.rma(1, 0, 2, 300.0);
+    co_await n.rma({.src_node = 0, .src_ep = 0, .dst_node = 1, .bytes = 100.0});
+    co_await n.rma({.src_node = 0, .src_ep = 1, .dst_node = 2, .bytes = 200.0});
+    co_await n.rma({.src_node = 1, .src_ep = 0, .dst_node = 2, .bytes = 300.0});
   }(nw));
   e.run();
   EXPECT_EQ(nw.total_messages(), 3u);
@@ -102,8 +102,8 @@ TEST(Network, AsyncRmaOverlaps) {
   sim::Time done = 0;
   sim::spawn(e, [](sim::Engine& eng, Network& n, sim::Time& d) -> sim::Task<void> {
     // Two async transfers from different endpoints overlap on the wire.
-    auto f1 = n.rma_async(0, 0, 1, 155e6);
-    auto f2 = n.rma_async(0, 1, 1, 155e6);
+    auto f1 = n.rma_async({.src_node = 0, .src_ep = 0, .dst_node = 1, .bytes = 155e6});
+    auto f2 = n.rma_async({.src_node = 0, .src_ep = 1, .dst_node = 1, .bytes = 155e6});
     co_await f1.wait();
     co_await f2.wait();
     d = eng.now();

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# clang-format compliance gate over every tracked C++ source. Run with a
+# clang-format on PATH (CI installs one); exits nonzero listing offending
+# files. `tools/check_format.sh fix` rewrites them in place instead.
+set -u
+cd "$(dirname "$0")/.."
+
+FMT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$FMT" >/dev/null 2>&1; then
+  echo "error: $FMT not found (set CLANG_FORMAT or install clang-format)" >&2
+  exit 2
+fi
+
+mode="${1:-check}"
+files=$(git ls-files 'src/**/*.hpp' 'src/**/*.cpp' 'tests/*.cpp' \
+  'bench/*.cpp' 'bench/*.hpp' 'examples/*.cpp')
+if [ "$mode" = "fix" ]; then
+  # shellcheck disable=SC2086
+  "$FMT" -i $files
+  exit 0
+fi
+# shellcheck disable=SC2086
+"$FMT" --dry-run -Werror $files

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Header self-containment check: every public header under src/ must
+# compile standalone (all of its includes declared, no hidden ordering
+# dependencies). Catches the "works only when included after X" rot that
+# umbrella headers hide.
+set -u
+cd "$(dirname "$0")/.."
+
+CXX="${CXX:-g++}"
+status=0
+checked=0
+for header in $(find src -name '*.hpp' | sort); do
+  if ! "$CXX" -std=c++20 -fsyntax-only -Isrc -x c++ "$header" 2>/tmp/hdr_err; then
+    echo "NOT SELF-CONTAINED: $header"
+    sed 's/^/    /' /tmp/hdr_err | head -10
+    status=1
+  fi
+  checked=$((checked + 1))
+done
+echo "checked $checked headers under src/"
+exit $status
