@@ -45,6 +45,7 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const int threads = static_cast<int>(cli.get_int("threads", 32));
   const int nodes = static_cast<int>(cli.get_int("nodes", 8));
+  cli.reject_unread(argv[0]);
 
   bench::banner("Ablation — flat vs hierarchical all-to-all",
                 "aggregation wins at small message sizes (fewer injections, "

@@ -5,72 +5,127 @@
 // coalescing epoch, so the runtime batches updates per destination node
 // and amortizes the per-message overhead. The grouped (thread-group
 // proxy) variant is shown as the hand-optimized upper bound.
+//
+// Harnessed under src/perf: each variant is one registered benchmark
+// (`gups.coalesce.*`) reporting a modeled `gups` metric plus the trace
+// counters that explain it (messages on the wire, aggregated ops); the
+// paper-style table below is a formatter over the same samples.
 #include <cstdio>
 #include <iostream>
+#include <string>
 
 #include "bench_common.hpp"
+#include "perf/runner.hpp"
 #include "sim/sim.hpp"
 #include "stream/random_access.hpp"
-#include "util/cli.hpp"
+#include "trace/trace.hpp"
 
 namespace {
 
 using namespace hupc;  // NOLINT
 
-stream::GupsResult run_variant(int threads, int nodes, int log2_table,
-                               std::uint64_t updates,
-                               stream::GupsVariant variant,
-                               const comm::Params& coalesce) {
+constexpr int kThreads = 64;
+constexpr int kNodes = 8;
+constexpr int kLog2Table = 16;
+
+void run_variant(perf::Context& ctx, stream::GupsVariant variant,
+                 const comm::Params& coalesce) {
+  const std::uint64_t updates = ctx.smoke() ? 1500 : 6000;
+  trace::Tracer tracer;
   sim::Engine engine;
-  gas::Runtime rt(engine,
-                  bench::make_config("lehman", nodes, threads,
-                                     gas::Backend::processes, "ib-qdr"));
-  stream::RandomAccess ra(rt, log2_table);
-  return ra.run(variant, updates, /*passes=*/1, coalesce);
+  auto config = bench::make_config("lehman", kNodes, kThreads,
+                                   gas::Backend::processes, "ib-qdr");
+  config.tracer = &tracer;
+  gas::Runtime rt(engine, config);
+  stream::RandomAccess ra(rt, kLog2Table);
+  const auto r = ra.run(variant, updates, /*passes=*/1, coalesce);
+
+  ctx.set_config("machine", "lehman");
+  ctx.set_config("conduit", "ib-qdr");
+  ctx.set_config("backend", "processes");
+  ctx.set_config("threads", std::to_string(kThreads));
+  ctx.set_config("nodes", std::to_string(kNodes));
+  ctx.set_config("log2_table", std::to_string(kLog2Table));
+  ctx.set_config("updates", std::to_string(updates));
+  ctx.report("gups", r.gups, "GUPS");
+  ctx.report_trace_counters(
+      tracer, {"net.msg", "net.bytes", "net.aggregated", "net.coalesced_ops",
+               "comm.flush.msgs"});
+}
+
+comm::Params buffer_params(std::size_t ops) {
+  comm::Params p;
+  p.max_ops = ops;
+  p.max_bytes = 16384;
+  return p;
+}
+
+PERF_BENCHMARK("gups.coalesce.naive") {
+  run_variant(ctx, stream::GupsVariant::naive, {});
+}
+PERF_BENCHMARK("gups.coalesce.buf16") {
+  run_variant(ctx, stream::GupsVariant::coalesced, buffer_params(16));
+}
+PERF_BENCHMARK("gups.coalesce.buf64") {
+  run_variant(ctx, stream::GupsVariant::coalesced, buffer_params(64));
+}
+PERF_BENCHMARK("gups.coalesce.buf256") {
+  run_variant(ctx, stream::GupsVariant::coalesced, buffer_params(256));
+}
+PERF_BENCHMARK("gups.coalesce.buf512") {
+  run_variant(ctx, stream::GupsVariant::coalesced, buffer_params(512));
+}
+PERF_BENCHMARK("gups.coalesce.grouped") {
+  run_variant(ctx, stream::GupsVariant::grouped, {});
+}
+
+int report(std::ostream& os, const std::vector<perf::Result>& results) {
+  const perf::Result* naive = bench::find_result(results, "gups.coalesce.naive");
+  if (naive == nullptr) return 0;  // filtered out; nothing to gate against
+  const double naive_gups = naive->median("gups");
+
+  os << "\n(a) Coalescing buffer sweep (" << kThreads << " ranks, "
+     << kNodes << " nodes, QDR IB)\n";
+  util::Table table({"Buffer (ops x bytes)", "GUPS", "vs naive"});
+  table.add_row({"off (naive)", util::Table::num(naive_gups, 5), "1.00"});
+  double best = 0.0;
+  for (const int ops : {16, 64, 256, 512}) {
+    const auto* r = bench::find_result(
+        results, "gups.coalesce.buf" + std::to_string(ops));
+    if (r == nullptr) continue;
+    const double gups = r->median("gups");
+    best = std::max(best, gups);
+    table.add_row({std::to_string(ops) + " x 16K", util::Table::num(gups, 5),
+                   util::Table::num(gups / naive_gups, 2)});
+  }
+  if (const auto* grouped = bench::find_result(results, "gups.coalesce.grouped");
+      grouped != nullptr) {
+    const double gups = grouped->median("gups");
+    table.add_row({"hand-bucketed (grouped)", util::Table::num(gups, 5),
+                   util::Table::num(gups / naive_gups, 2)});
+  }
+  table.print(os);
+
+  if (best == 0.0) return 0;
+  char line[96];
+  std::snprintf(line, sizeof line,
+                "\nBest coalesced speedup over naive: %.2fx %s\n",
+                best / naive_gups,
+                best / naive_gups >= 1.5 ? "(PASS >= 1.5x)" : "(FAIL < 1.5x)");
+  os << line;
+  return best / naive_gups >= 1.5 ? 0 : 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv);
-  const int threads = static_cast<int>(cli.get_int("threads", 64));
-  const int nodes = static_cast<int>(cli.get_int("nodes", 8));
-  const int log2_table = static_cast<int>(cli.get_int("log2_table", 16));
-  const auto updates =
-      static_cast<std::uint64_t>(cli.get_int("updates", 1500));
-
+  const perf::Runner runner("bench_ablation_coalesce", argc, argv);
   bench::banner(
+      runner.human_out(),
       "Ablation — software message coalescing on RandomAccess (GUPS)",
       "aggregating fine-grained remote updates per destination node "
       "amortizes the per-message API cost (thesis §4.3 aggregation)");
-
-  const auto naive = run_variant(threads, nodes, log2_table, updates,
-                                 stream::GupsVariant::naive, {});
-
-  std::printf("\n(a) Coalescing buffer sweep (%d ranks, %d nodes, QDR IB)\n",
-              threads, nodes);
-  util::Table table({"Buffer (ops x bytes)", "GUPS", "vs naive"});
-  table.add_row({"off (naive)", util::Table::num(naive.gups, 5), "1.00"});
-  double best = 0.0;
-  for (const std::size_t ops : {16u, 64u, 256u, 512u}) {
-    comm::Params p;
-    p.max_ops = ops;
-    p.max_bytes = 16384;
-    const auto r = run_variant(threads, nodes, log2_table, updates,
-                               stream::GupsVariant::coalesced, p);
-    best = std::max(best, r.gups);
-    table.add_row({std::to_string(ops) + " x 16K",
-                   util::Table::num(r.gups, 5),
-                   util::Table::num(r.gups / naive.gups, 2)});
-  }
-  const auto grouped = run_variant(threads, nodes, log2_table, updates,
-                                   stream::GupsVariant::grouped, {});
-  table.add_row({"hand-bucketed (grouped)", util::Table::num(grouped.gups, 5),
-                 util::Table::num(grouped.gups / naive.gups, 2)});
-  table.print(std::cout);
-
-  std::printf("\nBest coalesced speedup over naive: %.2fx %s\n",
-              best / naive.gups,
-              best / naive.gups >= 1.5 ? "(PASS >= 1.5x)" : "(FAIL < 1.5x)");
-  return best / naive.gups >= 1.5 ? 0 : 1;
+  return runner.main([&](const std::vector<perf::Result>& results) {
+    return report(runner.human_out(), results);
+  });
 }

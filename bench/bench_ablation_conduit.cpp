@@ -54,6 +54,7 @@ int main(int argc, char** argv) {
   if (cli.get_bool("quick", false)) tree.root_seed = 42;
   const int threads = static_cast<int>(cli.get_int("threads", 64));
   const int nodes = static_cast<int>(cli.get_int("nodes", 16));
+  cli.reject_unread(argv[0]);
 
   bench::banner("Ablation — UTS locality gain vs network latency",
                 "the local-first gain should grow monotonically with the "

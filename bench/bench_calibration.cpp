@@ -92,7 +92,7 @@ double numa_penalty_measured() {
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
-  (void)cli;
+  cli.reject_unread(argv[0]);
   bench::banner("Calibration self-check",
                 "every DESIGN.md §6 endpoint, measured from the live model");
 

@@ -4,15 +4,30 @@
 #pragma once
 
 #include <cstdio>
+#include <ostream>
+#include <stdexcept>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "gas/gas.hpp"
 #include "net/conduit.hpp"
+#include "perf/benchmark.hpp"
 #include "topo/machine.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
 namespace hupc::bench {
+
+/// Look up one harness result by benchmark id (null when the id was
+/// filtered out of the run — formatters skip those rows).
+[[nodiscard]] inline const perf::Result* find_result(
+    const std::vector<perf::Result>& results, std::string_view id) {
+  for (const auto& r : results) {
+    if (r.id == id) return &r;
+  }
+  return nullptr;
+}
 
 inline void banner(const char* experiment, const char* paper_result) {
   std::printf("=====================================================================\n");
@@ -21,7 +36,21 @@ inline void banner(const char* experiment, const char* paper_result) {
   std::printf("=====================================================================\n");
 }
 
-/// Build a gas::Config for a named machine preset.
+/// Harnessed benches pass perf::Runner::human_out() so the banner lands on
+/// stderr when the JSON artifact streams to stdout.
+inline void banner(std::ostream& os, const char* experiment,
+                   const char* paper_result) {
+  os << "=====================================================================\n"
+     << "HUPC reproduction | " << experiment << '\n'
+     << "Paper reference   | " << paper_result << '\n'
+     << "=====================================================================\n";
+}
+
+/// Build a gas::Config for a named machine preset. `machine` must be
+/// "pyramid" or "lehman"; `conduit` must be "" (the machine's default
+/// network), "gige", "ib-qdr" or "ib-ddr". Anything else throws
+/// std::invalid_argument — a typo must not silently measure the wrong
+/// cluster.
 inline gas::Config make_config(const std::string& machine, int nodes,
                                int threads,
                                gas::Backend backend = gas::Backend::processes,
@@ -30,13 +59,23 @@ inline gas::Config make_config(const std::string& machine, int nodes,
   if (machine == "pyramid") {
     cfg.machine = topo::pyramid(nodes);
     cfg.conduit = net::ib_ddr();
-  } else {
+  } else if (machine == "lehman") {
     cfg.machine = topo::lehman(nodes);
     cfg.conduit = net::ib_qdr();
+  } else {
+    throw std::invalid_argument("unknown machine preset '" + machine +
+                                "' (expected pyramid|lehman)");
   }
-  if (conduit == "gige") cfg.conduit = net::gige();
-  if (conduit == "ib-qdr") cfg.conduit = net::ib_qdr();
-  if (conduit == "ib-ddr") cfg.conduit = net::ib_ddr();
+  if (conduit == "gige") {
+    cfg.conduit = net::gige();
+  } else if (conduit == "ib-qdr") {
+    cfg.conduit = net::ib_qdr();
+  } else if (conduit == "ib-ddr") {
+    cfg.conduit = net::ib_ddr();
+  } else if (!conduit.empty()) {
+    throw std::invalid_argument("unknown conduit '" + conduit +
+                                "' (expected gige|ib-qdr|ib-ddr)");
+  }
   cfg.threads = threads;
   cfg.backend = backend;
   return cfg;

@@ -104,7 +104,7 @@ ExchangeTimes run_exchange(const Variant& v, int threads, bool async) {
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
-  (void)cli;
+  cli.reject_unread(argv[0]);
 
   bench::banner("Fig 3.4 — FT class B all-to-all on 4 Lehman nodes",
                 "(a) PSHM/pthreads beat non-shared baseline by ~20-120%, "

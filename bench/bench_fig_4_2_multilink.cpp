@@ -78,6 +78,7 @@ double flood_mbs(net::ConnectionMode mode, int links, double bytes,
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const int reps = static_cast<int>(cli.get_int("reps", 20));
+  cli.reject_unread(argv[0]);
 
   bench::banner("Fig 4.2 — multi-link latency and flood bandwidth (QDR IB)",
                 "1 link ~1.5 GB/s; multi-link ~2.4 GB/s; pthread links "

@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   const auto grid = cli.get_bool("quick", false) ? fft::FtParams::class_a()
                                                  : fft::FtParams::class_b();
   const std::string trace_file = cli.get("trace", "");
+  cli.reject_unread(argv[0]);
   std::unique_ptr<trace::Tracer> tracer;
   if (!trace_file.empty()) tracer = std::make_unique<trace::Tracer>();
 

@@ -56,6 +56,7 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const auto grid = cli.get_bool("quick", false) ? fft::FtParams::class_a()
                                                  : fft::FtParams::class_b();
+  cli.reject_unread(argv[0]);
 
   bench::banner("Fig 4.5 — FT class B: time in communication calls",
                 "no scaling past 2 threads/node; at full subscription "

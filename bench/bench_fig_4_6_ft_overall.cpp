@@ -117,6 +117,7 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const auto grid = cli.get_bool("quick", false) ? fft::FtParams::class_a()
                                                  : fft::FtParams::class_b();
+  cli.reject_unread(argv[0]);
 
   bench::banner("Fig 4.6 — NAS FT class B overall results, 8 Lehman nodes",
                 "hybrids ~+10% @64, ~+30% @128 threads; OpenMP > pool > "

@@ -3,64 +3,116 @@
 // figure (the thesis names it without measurements); this bench supplies
 // the numbers: naive fine-grained remote AMOs vs supernode-privatized +
 // bucketed updates, across node counts and both networks.
+//
+// Harnessed under src/perf: `gups.groups.<conduit>.t<T>n<N>.<variant>`
+// per point; the two largest scales (64/8, 128/16) are full-tier only.
 #include <cstdio>
 #include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "bench_common.hpp"
+#include "perf/runner.hpp"
 #include "sim/sim.hpp"
 #include "stream/random_access.hpp"
-#include "util/cli.hpp"
+#include "trace/trace.hpp"
 
 namespace {
 
 using namespace hupc;  // NOLINT
 
-stream::GupsResult run_gups(int threads, int nodes, const std::string& conduit,
-                            stream::GupsVariant variant, int log2_table,
-                            std::uint64_t updates) {
+constexpr std::pair<int, int> kScales[] = {{16, 2}, {32, 4}, {64, 8}, {128, 16}};
+const char* const kConduits[] = {"ib-ddr", "gige"};
+constexpr int kLog2Table = 16;
+
+void run_point(perf::Context& ctx, const std::string& conduit, int threads,
+               int nodes, stream::GupsVariant variant) {
+  const std::uint64_t updates = ctx.smoke() ? 2048 : 8192;
+  trace::Tracer tracer;
   sim::Engine engine;
   auto config = bench::make_config("pyramid", nodes, threads,
                                    gas::Backend::processes, conduit);
+  config.tracer = &tracer;
   gas::Runtime rt(engine, config);
-  stream::RandomAccess ra(rt, log2_table);
-  return ra.run(variant, updates);
+  stream::RandomAccess ra(rt, kLog2Table);
+  const auto r = ra.run(variant, updates);
+
+  ctx.set_config("machine", "pyramid");
+  ctx.set_config("conduit", conduit);
+  ctx.set_config("backend", "processes");
+  ctx.set_config("threads", std::to_string(threads));
+  ctx.set_config("nodes", std::to_string(nodes));
+  ctx.set_config("log2_table", std::to_string(kLog2Table));
+  ctx.set_config("updates", std::to_string(updates));
+  ctx.report("gups", r.gups, "GUPS");
+  ctx.report("local_fraction",
+             static_cast<double>(r.local) / static_cast<double>(r.updates),
+             "fraction");
+  ctx.report_trace_counters(tracer, {"net.msg", "net.bytes"});
+}
+
+std::string point_id(const std::string& conduit, int threads, int nodes,
+                     bool grouped) {
+  return "gups.groups." + conduit + ".t" + std::to_string(threads) + "n" +
+         std::to_string(nodes) + (grouped ? ".grouped" : ".naive");
+}
+
+void register_benchmarks() {
+  for (const char* const conduit : kConduits) {
+    for (const auto& [threads, nodes] : kScales) {
+      for (const bool grouped : {false, true}) {
+        perf::Benchmark b;
+        b.id = point_id(conduit, threads, nodes, grouped);
+        b.in_smoke = threads <= 32;
+        b.fn = [conduit = std::string(conduit), threads = threads,
+                nodes = nodes, grouped](perf::Context& ctx) {
+          run_point(ctx, conduit, threads, nodes,
+                    grouped ? stream::GupsVariant::grouped
+                            : stream::GupsVariant::naive);
+        };
+        perf::Registry::instance().add(std::move(b));
+      }
+    }
+  }
+}
+
+int report(std::ostream& os, const std::vector<perf::Result>& results) {
+  for (const char* const conduit : kConduits) {
+    util::Table table({"Threads/Nodes", "Naive (MUP/s)", "Grouped (MUP/s)",
+                       "Gain", "Local updates"});
+    for (const auto& [threads, nodes] : kScales) {
+      const auto* naive =
+          bench::find_result(results, point_id(conduit, threads, nodes, false));
+      const auto* grouped =
+          bench::find_result(results, point_id(conduit, threads, nodes, true));
+      if (naive == nullptr || grouped == nullptr) continue;
+      const double n = naive->median("gups");
+      const double g = grouped->median("gups");
+      char label[32];
+      std::snprintf(label, sizeof label, "%d/%d", threads, nodes);
+      table.add_row({label, util::Table::num(n * 1e3, 1),
+                     util::Table::num(g * 1e3, 1),
+                     util::Table::num(g / n, 1) + "x",
+                     util::Table::pct(grouped->median("local_fraction"), 1)});
+    }
+    if (table.rows() == 0) continue;
+    os << "\n--- Network: " << conduit << " ---\n";
+    table.print(os);
+  }
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv);
-  const int log2_table = static_cast<int>(cli.get_int("log2-table", 16));
-  const auto updates =
-      static_cast<std::uint64_t>(cli.get_int("updates", 8192));
-
-  bench::banner("RandomAccess (GUPS) with thread groups",
+  register_benchmarks();
+  const perf::Runner runner("bench_gups_groups", argc, argv);
+  bench::banner(runner.human_out(),
+                "RandomAccess (GUPS) with thread groups",
                 "thesis §4.4 names Random Access as a thread-group "
                 "application; bucketed supernode updates vs naive AMOs");
-
-  for (const std::string conduit : {"ib-ddr", "gige"}) {
-    std::printf("\n--- Network: %s ---\n", conduit.c_str());
-    util::Table table({"Threads/Nodes", "Naive (MUP/s)", "Grouped (MUP/s)",
-                       "Gain", "Local updates"});
-    for (const auto& [threads, nodes] :
-         {std::pair{16, 2}, {32, 4}, {64, 8}, {128, 16}}) {
-      const auto naive = run_gups(threads, nodes, conduit,
-                                  stream::GupsVariant::naive, log2_table,
-                                  updates);
-      const auto grouped = run_gups(threads, nodes, conduit,
-                                    stream::GupsVariant::grouped, log2_table,
-                                    updates);
-      char label[32];
-      std::snprintf(label, sizeof label, "%d/%d", threads, nodes);
-      table.add_row(
-          {label, util::Table::num(naive.gups * 1e3, 1),
-           util::Table::num(grouped.gups * 1e3, 1),
-           util::Table::num(grouped.gups / naive.gups, 1) + "x",
-           util::Table::pct(static_cast<double>(grouped.local) /
-                                static_cast<double>(grouped.updates),
-                            1)});
-    }
-    table.print(std::cout);
-  }
-  return 0;
+  return runner.main([&](const std::vector<perf::Result>& results) {
+    return report(runner.human_out(), results);
+  });
 }

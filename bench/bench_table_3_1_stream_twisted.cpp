@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const auto elements =
       static_cast<std::size_t>(cli.get_int("elements", 8 << 20));
+  cli.reject_unread(argv[0]);
 
   bench::banner("Table 3.1 — twisted STREAM triad",
                 "UPC baseline 3.2 | re-localization 7.2 | cast 23.2 | "

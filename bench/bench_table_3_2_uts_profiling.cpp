@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   uts::TreeParams tree = uts::paper_tree();
   if (cli.get_bool("quick", false)) tree.root_seed = 42;
   const int nodes = static_cast<int>(cli.get_int("nodes", 16));
+  cli.reject_unread(argv[0]);
 
   bench::banner(
       "Table 3.2 — UTS profiling: local-steal ratios and improvement",

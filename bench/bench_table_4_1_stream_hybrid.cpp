@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const auto elements =
       static_cast<std::size_t>(cli.get_int("elements", 64 << 20));
+  cli.reject_unread(argv[0]);
 
   bench::banner("Table 4.1 — STREAM triad, hybrid placement",
                 "UPC 24.5 | OpenMP 23.7 | 1x8 = 13.9 | 2x4 = 24.7 | "

@@ -1,0 +1,47 @@
+#include "perf/fingerprint.hpp"
+
+#include <cstdlib>
+
+#include "trace/trace.hpp"
+
+// Baked in by src/perf/CMakeLists.txt; fall back gracefully when compiled
+// outside the build system (e.g. the header self-containment check).
+#ifndef HUPC_BUILD_TYPE
+#define HUPC_BUILD_TYPE "unknown"
+#endif
+#ifndef HUPC_CXX_FLAGS
+#define HUPC_CXX_FLAGS ""
+#endif
+
+namespace hupc::perf {
+
+Json Fingerprint::to_json() const {
+  Json j = Json::object();
+  j.set("suite", suite);
+  j.set("tier", tier);
+  j.set("git_sha", git_sha);
+  j.set("build_type", build_type);
+  j.set("cxx_flags", cxx_flags);
+  j.set("compiler", compiler);
+  j.set("trace_level", trace_level);
+  return j;
+}
+
+Fingerprint collect_fingerprint(std::string suite, std::string tier) {
+  Fingerprint fp;
+  fp.suite = std::move(suite);
+  fp.tier = std::move(tier);
+  const char* sha = std::getenv("HUPC_GIT_SHA");
+  fp.git_sha = (sha != nullptr && sha[0] != '\0') ? sha : "unknown";
+  fp.build_type = HUPC_BUILD_TYPE;
+  fp.cxx_flags = HUPC_CXX_FLAGS;
+#ifdef __VERSION__
+  fp.compiler = __VERSION__;
+#else
+  fp.compiler = "unknown";
+#endif
+  fp.trace_level = trace::kTraceLevel;
+  return fp;
+}
+
+}  // namespace hupc::perf

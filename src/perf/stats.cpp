@@ -1,0 +1,83 @@
+#include "perf/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace hupc::perf {
+
+namespace {
+
+/// Median of a pre-sorted vector.
+double sorted_median(const std::vector<double>& sorted) {
+  if (sorted.empty()) return 0;
+  const std::size_t n = sorted.size();
+  if (n % 2 == 1) return sorted[n / 2];
+  return 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+}
+
+}  // namespace
+
+double median(std::span<const double> samples) {
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  return sorted_median(sorted);
+}
+
+Summary summarize(std::span<const double> samples, int resamples,
+                  std::uint64_t seed) {
+  Summary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  double sum = 0;
+  for (const double x : sorted) sum += x;
+  s.mean = sum / static_cast<double>(sorted.size());
+  s.median = sorted_median(sorted);
+
+  std::vector<double> dev(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    dev[i] = std::abs(sorted[i] - s.median);
+  }
+  std::sort(dev.begin(), dev.end());
+  s.mad = sorted_median(dev);
+
+  if (sorted.size() == 1 || s.max == s.min || resamples <= 0) {
+    s.ci95_lo = s.median;
+    s.ci95_hi = s.median;
+    return s;
+  }
+
+  // Percentile bootstrap of the median: resample n-with-replacement,
+  // record each resample's median, take the 2.5th / 97.5th percentiles.
+  util::Xoshiro256ss rng(seed);
+  const std::size_t n = sorted.size();
+  std::vector<double> medians(static_cast<std::size_t>(resamples));
+  std::vector<double> draw(n);
+  for (auto& m : medians) {
+    for (auto& d : draw) {
+      d = sorted[static_cast<std::size_t>(rng.next() % n)];
+    }
+    std::sort(draw.begin(), draw.end());
+    m = sorted_median(draw);
+  }
+  std::sort(medians.begin(), medians.end());
+  const auto rank = [&](double p) {
+    const double r = p * static_cast<double>(medians.size() - 1);
+    const auto lo = static_cast<std::size_t>(r);
+    const auto hi = std::min(lo + 1, medians.size() - 1);
+    const double frac = r - static_cast<double>(lo);
+    return medians[lo] + frac * (medians[hi] - medians[lo]);
+  };
+  s.ci95_lo = rank(0.025);
+  s.ci95_hi = rank(0.975);
+  return s;
+}
+
+}  // namespace hupc::perf

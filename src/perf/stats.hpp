@@ -1,0 +1,43 @@
+// Robust descriptive statistics for benchmark sample sets.
+//
+// The regression gate compares *medians* with a MAD-derived noise band:
+// both are robust to the occasional scheduler hiccup that poisons a mean
+// and a stddev. The 95% confidence interval on the median comes from a
+// percentile bootstrap with a fixed-seed deterministic RNG, so the same
+// samples always produce the same interval (artifacts re-serialize
+// bit-identically — the property the CI gate's "identical re-run passes"
+// check relies on).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace hupc::perf {
+
+struct Summary {
+  std::size_t count = 0;
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double median = 0;
+  /// Median absolute deviation from the median (raw, unscaled; multiply by
+  /// 1.4826 for a normal-consistent sigma estimate).
+  double mad = 0;
+  /// 95% percentile-bootstrap confidence interval on the median. Collapses
+  /// to [median, median] for a single sample or constant data.
+  double ci95_lo = 0;
+  double ci95_hi = 0;
+};
+
+/// Median of `samples` (linear interpolation between the two middle order
+/// statistics for even counts); 0 for an empty span.
+[[nodiscard]] double median(std::span<const double> samples);
+
+/// Summarize `samples`. `resamples` bootstrap draws estimate the CI;
+/// `seed` fixes the resampling stream (determinism).
+[[nodiscard]] Summary summarize(std::span<const double> samples,
+                                int resamples = 200,
+                                std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+}  // namespace hupc::perf

@@ -1,5 +1,6 @@
 #include "util/cli.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
 #include <string_view>
@@ -24,29 +25,54 @@ Cli::Cli(int argc, const char* const* argv) {
   }
 }
 
-bool Cli::has(const std::string& name) const { return flags_.contains(name); }
+bool Cli::has(const std::string& name) const {
+  read_.insert(name);
+  return flags_.contains(name);
+}
 
 std::string Cli::get(const std::string& name, const std::string& fallback) const {
+  read_.insert(name);
   const auto it = flags_.find(name);
   return it == flags_.end() ? fallback : it->second;
 }
 
 std::int64_t Cli::get_int(const std::string& name, std::int64_t fallback) const {
+  read_.insert(name);
   const auto it = flags_.find(name);
   if (it == flags_.end()) return fallback;
   return std::strtoll(it->second.c_str(), nullptr, 10);
 }
 
 double Cli::get_double(const std::string& name, double fallback) const {
+  read_.insert(name);
   const auto it = flags_.find(name);
   if (it == flags_.end()) return fallback;
   return std::strtod(it->second.c_str(), nullptr);
 }
 
 bool Cli::get_bool(const std::string& name, bool fallback) const {
+  read_.insert(name);
   const auto it = flags_.find(name);
   if (it == flags_.end()) return fallback;
   return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<std::string> Cli::unread_flags() const {
+  std::vector<std::string> unread;
+  for (const auto& [name, value] : flags_) {
+    if (!read_.contains(name)) unread.push_back(name);
+  }
+  return unread;
+}
+
+void Cli::reject_unread(const char* program) const {
+  const auto unread = unread_flags();
+  if (unread.empty()) return;
+  for (const auto& name : unread) {
+    std::fprintf(stderr, "%s: error: unknown flag --%s\n", program,
+                 name.c_str());
+  }
+  std::exit(2);
 }
 
 }  // namespace hupc::util

@@ -1,10 +1,16 @@
 // Minimal command-line flag parser for the benchmark/example binaries.
 // Supports `--name=value`, `--name value` and boolean `--flag` forms.
+//
+// Every accessor (has/get/get_*) marks the flag it names as *read*. After a
+// binary has pulled all the flags it understands, calling reject_unread()
+// turns any leftover flag — a typo, or an option this binary does not take —
+// into a hard error instead of silently ignoring it.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -27,9 +33,20 @@ class Cli {
     return positional_;
   }
 
+  /// Flags present on the command line that no accessor has asked about yet
+  /// — i.e. flags this binary does not understand (assuming it has already
+  /// read everything it does).
+  [[nodiscard]] std::vector<std::string> unread_flags() const;
+
+  /// Hard error on unknown flags: if unread_flags() is non-empty, print
+  /// each offending `--flag` to stderr (prefixed with `program`) and
+  /// exit(2). Call after all known flags have been read.
+  void reject_unread(const char* program) const;
+
  private:
   std::map<std::string, std::string> flags_;
   std::vector<std::string> positional_;
+  mutable std::set<std::string> read_;
 };
 
 }  // namespace hupc::util

@@ -253,7 +253,9 @@ void check_schema(const trace::Tracer& tracer) {
   // Open B/E nesting depth per (pid, tid) lane.
   std::map<std::pair<int, int>, int> depth;
   const auto& events = doc.at("traceEvents").arr;
-  if (trace::kEnabled) EXPECT_FALSE(events.empty());
+  if (trace::kEnabled) {
+    EXPECT_FALSE(events.empty());
+  }
   for (const auto& ev : events) {
     ASSERT_EQ(ev.type, Json::Type::object);
     for (const char* key : {"name", "cat", "ph"}) {

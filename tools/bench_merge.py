@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Merge per-binary perf artifacts (schema v1) into one results file.
+
+Usage: bench_merge.py OUT IN.json [IN.json ...]
+
+Each input is the --json output of one harnessed bench binary. The merged
+document keeps schema_version/tier/fingerprint at the top (inputs must
+agree on tier), collects the producing suite names, and concatenates the
+benchmark entries, stamping each with its suite. Duplicate benchmark ids
+across suites are an error — ids are the baseline lookup key.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"bench_merge: error: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def main(argv):
+    if len(argv) < 3:
+        fail("usage: bench_merge.py OUT IN.json [IN.json ...]")
+    out_path, inputs = argv[1], argv[2:]
+
+    merged = None
+    for path in inputs:
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            fail(f"{path}: {e}")
+        if doc.get("schema_version") != 1:
+            fail(f"{path}: unsupported schema_version {doc.get('schema_version')}")
+        if merged is None:
+            fingerprint = {
+                k: v for k, v in doc.get("fingerprint", {}).items() if k != "suite"
+            }
+            merged = {
+                "schema_version": 1,
+                "tier": doc.get("tier", "full"),
+                "fingerprint": fingerprint,
+                "suites": [],
+                "benchmarks": [],
+            }
+        if doc.get("tier") != merged["tier"]:
+            fail(f"{path}: tier {doc.get('tier')!r} != {merged['tier']!r}")
+        merged["suites"].append(doc.get("suite", "?"))
+        for bench in doc.get("benchmarks", []):
+            entry = dict(bench)
+            entry["suite"] = doc.get("suite", "?")
+            merged["benchmarks"].append(entry)
+
+    if merged is None:
+        fail("no inputs")
+    ids = [b.get("id") for b in merged["benchmarks"]]
+    dups = {i for i in ids if ids.count(i) > 1}
+    if dups:
+        fail(f"duplicate benchmark ids across suites: {sorted(dups)}")
+
+    with open(out_path, "w") as f:
+        json.dump(merged, f, indent=2)
+        f.write("\n")
+    print(
+        f"bench_merge: {len(merged['benchmarks'])} benchmarks from "
+        f"{len(inputs)} suites -> {out_path}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
