@@ -67,6 +67,7 @@ int main(int argc, char** argv) {
   const int threads = static_cast<int>(cli.get_int("threads", 4));
   const int nodes = static_cast<int>(cli.get_int("nodes", 2));
   const int n = static_cast<int>(cli.get_int("size", 32));
+  cli.reject_unread("fft3d_solver");
 
   for (const auto variant :
        {fft::CommVariant::split_phase, fft::CommVariant::overlap}) {

@@ -48,6 +48,7 @@ int main(int argc, char** argv) {
   const int nodes = static_cast<int>(cli.get_int("nodes", 2));
   const auto cells = static_cast<std::size_t>(cli.get_int("cells", 4096));
   const int steps = static_cast<int>(cli.get_int("steps", 200));
+  cli.reject_unread("heat_stencil");
   const std::size_t per = cells / static_cast<std::size_t>(threads);
   if (per * static_cast<std::size_t>(threads) != cells) {
     std::printf("cells must divide by threads\n");

@@ -25,8 +25,10 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <initializer_list>
 #include <iostream>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -87,18 +89,54 @@ gas::Config build_config(const util::Cli& cli,
   config.tracer = tracer;
   const std::string machine = cli.get("machine", "lehman");
   const int nodes = static_cast<int>(cli.get_int("nodes", 4));
-  config.machine = machine == "pyramid" ? topo::pyramid(nodes)
-                                        : topo::lehman(nodes);
+  if (machine == "pyramid") {
+    config.machine = topo::pyramid(nodes);
+  } else if (machine == "lehman") {
+    config.machine = topo::lehman(nodes);
+  } else {
+    throw std::invalid_argument("unknown machine preset '" + machine +
+                                "' (expected pyramid|lehman)");
+  }
   config.threads = static_cast<int>(cli.get_int("threads", 16));
-  config.backend = cli.get("backend", "processes") == "pthreads"
-                       ? gas::Backend::pthreads
-                       : gas::Backend::processes;
+  const std::string backend = cli.get("backend", "processes");
+  if (backend == "pthreads") {
+    config.backend = gas::Backend::pthreads;
+  } else if (backend == "processes") {
+    config.backend = gas::Backend::processes;
+  } else {
+    throw std::invalid_argument("unknown backend '" + backend +
+                                "' (expected processes|pthreads)");
+  }
   const std::string conduit = cli.get(
       "conduit", machine == "pyramid" ? "ib-ddr" : "ib-qdr");
-  if (conduit == "gige") config.conduit = net::gige();
-  if (conduit == "ib-ddr") config.conduit = net::ib_ddr();
-  if (conduit == "ib-qdr") config.conduit = net::ib_qdr();
+  if (conduit == "gige") {
+    config.conduit = net::gige();
+  } else if (conduit == "ib-ddr") {
+    config.conduit = net::ib_ddr();
+  } else if (conduit == "ib-qdr") {
+    config.conduit = net::ib_qdr();
+  } else {
+    throw std::invalid_argument("unknown conduit '" + conduit +
+                                "' (expected gige|ib-qdr|ib-ddr)");
+  }
   return config;
+}
+
+/// `--variant` must name one of the workload's variants; a typo must not
+/// silently measure the default.
+std::string get_variant(const util::Cli& cli, const char* fallback,
+                        std::initializer_list<const char*> allowed) {
+  const std::string variant = cli.get("variant", fallback);
+  for (const char* a : allowed) {
+    if (variant == a) return variant;
+  }
+  std::string expected;
+  for (const char* a : allowed) {
+    if (!expected.empty()) expected += '|';
+    expected += a;
+  }
+  throw std::invalid_argument("unknown variant '" + variant + "' (expected " +
+                              expected + ")");
 }
 
 /// `--fault-plan=NAME --fault-seed=S`: build + install a fault plan on `rt`.
@@ -107,8 +145,8 @@ gas::Config build_config(const util::Cli& cli,
 std::unique_ptr<fault::FaultPlan> make_fault_plan(const util::Cli& cli,
                                                   gas::Runtime& rt) {
   const std::string name = cli.get("fault-plan", "");
-  if (name.empty()) return nullptr;
   const auto seed = static_cast<std::uint64_t>(cli.get_int("fault-seed", 1));
+  if (name.empty()) return nullptr;
   auto plan =
       std::make_unique<fault::FaultPlan>(fault::plan_template(name, seed));
   plan->install(rt);
@@ -139,7 +177,9 @@ int run_uts(const util::Cli& cli) {
   const auto plan = make_fault_plan(cli, rt);
   uts::TreeParams tree;
   tree.root_seed = static_cast<std::uint32_t>(cli.get_int("seed", 42));
-  const std::string variant = cli.get("variant", "diffusion");
+  const std::string variant =
+      get_variant(cli, "diffusion", {"baseline", "local", "diffusion"});
+  cli.reject_unread("hupc_bench");
   sched::StealParams params;
   params.policy = variant == "baseline" ? sched::VictimPolicy::random
                                         : sched::VictimPolicy::local_first;
@@ -169,13 +209,18 @@ int run_ft(const util::Cli& cli) {
   const auto plan = make_fault_plan(cli, rt);
   fft::FtConfig fc;
   const std::string cls = cli.get("class", "A");
+  if (cls != "S" && cls != "A" && cls != "B") {
+    throw std::invalid_argument("unknown class '" + cls +
+                                "' (expected S|A|B)");
+  }
   fc.grid = cls == "B"   ? fft::FtParams::class_b()
             : cls == "S" ? fft::FtParams::class_s()
                          : fft::FtParams::class_a();
-  fc.variant = cli.get("variant", "split") == "overlap"
+  fc.variant = get_variant(cli, "split", {"split", "overlap"}) == "overlap"
                    ? fft::CommVariant::overlap
                    : fft::CommVariant::split_phase;
   fc.subs = static_cast<int>(cli.get_int("subs", 0));
+  cli.reject_unread("hupc_bench");
   fft::FtModel ft(rt, fc);
   rt.spmd([&ft](gas::Thread& t) -> sim::Task<void> { co_await ft.run(t); });
   rt.run_to_completion();
@@ -196,13 +241,16 @@ int run_stream(const util::Cli& cli) {
   config.machine = topo::lehman(1);  // single-node study
   gas::Runtime rt(engine, config);
   const auto plan = make_fault_plan(cli, rt);
-  const std::string variant = cli.get("variant", "cast");
+  const std::string variant = get_variant(
+      cli, "cast", {"baseline", "relocalize", "cast", "openmp"});
   stream::TriadVariant v = stream::TriadVariant::upc_cast;
   if (variant == "baseline") v = stream::TriadVariant::upc_baseline;
   if (variant == "relocalize") v = stream::TriadVariant::upc_relocalize;
   if (variant == "openmp") v = stream::TriadVariant::openmp;
-  const auto r = stream::twisted_triad(
-      rt, static_cast<std::size_t>(cli.get_int("elements", 4 << 20)), v);
+  const auto elements =
+      static_cast<std::size_t>(cli.get_int("elements", 4 << 20));
+  cli.reject_unread("hupc_bench");
+  const auto r = stream::twisted_triad(rt, elements, v);
   std::printf("stream[twisted %s]: %.1f GB/s\n", variant.c_str(),
               r.gbytes_per_s);
   fault_footer(plan.get());
@@ -216,10 +264,14 @@ int run_gups(const util::Cli& cli) {
   gas::Runtime rt(engine, build_config(cli, tracer.get()));
   const auto plan = make_fault_plan(cli, rt);
   stream::RandomAccess ra(rt, static_cast<int>(cli.get_int("log2-table", 16)));
-  const bool grouped = cli.get("variant", "grouped") == "grouped";
+  const bool grouped =
+      get_variant(cli, "grouped", {"naive", "grouped"}) == "grouped";
+  const auto updates =
+      static_cast<std::uint64_t>(cli.get_int("updates", 4096));
+  cli.reject_unread("hupc_bench");
   const auto r = ra.run(grouped ? stream::GupsVariant::grouped
                                 : stream::GupsVariant::naive,
-                        static_cast<std::uint64_t>(cli.get_int("updates", 4096)));
+                        updates);
   std::printf("gups[%s]: %.4f GUP/s (%llu updates, %.1f%% local) %s\n",
               grouped ? "grouped" : "naive", r.gups,
               static_cast<unsigned long long>(r.updates),
@@ -244,6 +296,7 @@ int run_summa(const util::Cli& cli) {
   gas::Runtime rt(engine, config);
   const auto plan = make_fault_plan(cli, rt);
   const auto size = static_cast<std::size_t>(cli.get_int("size", 256));
+  cli.reject_unread("hupc_bench");
   linalg::Summa summa(rt, linalg::ProcessGrid{p, p}, size, size, size);
   summa.fill(1);
   rt.spmd([&summa](gas::Thread& t) -> sim::Task<void> {
@@ -264,6 +317,7 @@ int run_fuzz(const util::Cli& cli) {
   opt.budget = static_cast<int>(cli.get_int("budget", 32));
   opt.plant_split_bug = cli.get_bool("fuzz-test-bug", false);
   opt.verbose = cli.get_bool("fuzz-verbose", false);
+  cli.reject_unread("hupc_bench");
   fault::Fuzzer fuzzer(opt);
   const fault::FuzzReport report = fuzzer.run(std::cout);
   return static_cast<int>(report.failures.size());

@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   const int nodes = static_cast<int>(cli.get_int("nodes", 2));
   const int subs = static_cast<int>(cli.get_int("subs", 4));
   const int rounds = static_cast<int>(cli.get_int("rounds", 3));
+  cli.reject_unread("hybrid_pipeline");
   const std::size_t items_per_rank = 64;
 
   sim::Engine engine;

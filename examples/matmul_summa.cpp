@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   const int p = static_cast<int>(cli.get_int("grid", 2));
   const auto size = static_cast<std::size_t>(cli.get_int("size", 64));
   const int nodes = static_cast<int>(cli.get_int("nodes", 2));
+  cli.reject_unread("matmul_summa");
 
   sim::Engine engine;
   gas::Config config;

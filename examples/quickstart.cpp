@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const int threads = static_cast<int>(cli.get_int("threads", 8));
   const int nodes = static_cast<int>(cli.get_int("nodes", 1));
+  cli.reject_unread("quickstart");
 
   // 1. Describe the machine and the runtime configuration.
   sim::Engine engine;

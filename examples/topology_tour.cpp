@@ -40,7 +40,15 @@ int main(int argc, char** argv) {
   const std::string name = cli.get("machine", "lehman");
   const int nodes = static_cast<int>(cli.get_int("nodes", 2));
   const int threads = static_cast<int>(cli.get_int("threads", 8));
+  cli.reject_unread("topology_tour");
 
+  if (name != "pyramid" && name != "lehman") {
+    std::fprintf(stderr,
+                 "topology_tour: error: unknown machine preset '%s' "
+                 "(expected pyramid|lehman)\n",
+                 name.c_str());
+    return 2;
+  }
   const topo::MachineSpec machine =
       name == "pyramid" ? topo::pyramid(nodes) : topo::lehman(nodes);
   describe(machine);

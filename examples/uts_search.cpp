@@ -16,6 +16,8 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "fault/fuzzer.hpp"
@@ -82,6 +84,7 @@ int main(int argc, char** argv) try {
     opt.budget = static_cast<int>(cli.get_int("fuzz", 32));
     opt.base_seed = static_cast<std::uint64_t>(cli.get_int("fault-seed", 1));
     opt.verbose = cli.get_bool("fuzz-verbose", false);
+    cli.reject_unread("uts_search");
     fault::Fuzzer fuzzer(opt);
     return static_cast<int>(fuzzer.run(std::cout).failures.size());
   }
@@ -91,6 +94,10 @@ int main(int argc, char** argv) try {
   const int threads = static_cast<int>(cli.get_int("threads", 32));
   const int nodes = static_cast<int>(cli.get_int("nodes", 4));
   const std::string conduit = cli.get("conduit", "ib-ddr");
+  if (conduit != "gige" && conduit != "ib-ddr") {
+    throw std::invalid_argument("unknown conduit '" + conduit +
+                                "' (expected gige|ib-ddr)");
+  }
 
   std::printf("UTS: binomial tree, seed %u — sequential oracle first...\n",
               tree.root_seed);
@@ -107,12 +114,15 @@ int main(int argc, char** argv) try {
   }
 
   std::unique_ptr<fault::PlanParams> fault_plan;
-  if (const std::string plan_name = cli.get("fault-plan", "");
-      !plan_name.empty()) {
-    fault_plan = std::make_unique<fault::PlanParams>(fault::plan_template(
-        plan_name, static_cast<std::uint64_t>(cli.get_int("fault-seed", 1))));
+  const std::string plan_name = cli.get("fault-plan", "");
+  const auto fault_seed =
+      static_cast<std::uint64_t>(cli.get_int("fault-seed", 1));
+  if (!plan_name.empty()) {
+    fault_plan = std::make_unique<fault::PlanParams>(
+        fault::plan_template(plan_name, fault_seed));
     std::printf("fault: %s\n\n", fault_plan->describe().c_str());
   }
+  cli.reject_unread("uts_search");
 
   for (const bool optimized : {false, true}) {
     // Each configuration starts a fresh trace; the exported file holds the
