@@ -14,7 +14,11 @@
 //                                       workload; see fault/plan.hpp)
 //
 // Variants: uts: baseline|local|diffusion; ft: split|overlap;
-//           stream: baseline|relocalize|cast|openmp; gups: naive|grouped;
+//           stream: baseline|relocalize|cast|openmp;
+//           gups: naive|grouped|gather (gather reads bursts of consecutive
+//                 elements; --read-cache=on|off serves them through a
+//                 read-cache epoch, --cache-lines=N / --cache-line-bytes=B
+//                 set its geometry);
 //           summa: (grid inferred from --threads, must be a square).
 //
 // Fuzzing: --workload fuzz [--budget N] [--fuzz-seed S] [--fuzz-test-bug]
@@ -258,14 +262,47 @@ int run_stream(const util::Cli& cli) {
   return export_trace(cli, tracer.get());
 }
 
+/// `--read-cache=on|off` plus the geometry knobs `--cache-lines` and
+/// `--cache-line-bytes`. Strict on|off: a typo must not silently measure
+/// the uncached path.
+bool read_cache_flags(const util::Cli& cli, comm::CacheParams& params) {
+  const std::string rc = cli.get("read-cache", "off");
+  if (rc != "on" && rc != "off") {
+    throw std::invalid_argument("unknown --read-cache value '" + rc +
+                                "' (expected on|off)");
+  }
+  params.lines = static_cast<std::size_t>(cli.get_int("cache-lines", 256));
+  params.line_bytes =
+      static_cast<std::size_t>(cli.get_int("cache-line-bytes", 64));
+  return rc == "on";
+}
+
 int run_gups(const util::Cli& cli) {
   sim::Engine engine;
   auto tracer = make_tracer(cli);
   gas::Runtime rt(engine, build_config(cli, tracer.get()));
   const auto plan = make_fault_plan(cli, rt);
   stream::RandomAccess ra(rt, static_cast<int>(cli.get_int("log2-table", 16)));
-  const bool grouped =
-      get_variant(cli, "grouped", {"naive", "grouped"}) == "grouped";
+  const std::string variant =
+      get_variant(cli, "grouped", {"naive", "grouped", "gather"});
+  if (variant == "gather") {
+    stream::GatherParams gp;
+    gp.bursts = static_cast<std::uint64_t>(cli.get_int("bursts", 64));
+    gp.burst_len = static_cast<std::uint64_t>(cli.get_int("burst-len", 64));
+    gp.cached = read_cache_flags(cli, gp.cache);
+    cli.reject_unread("hupc_bench");
+    const auto g = ra.run_gather(gp);
+    std::printf("gups[gather, cache %s]: %.2f Mreads/s (%llu reads, %llu "
+                "remote, checksum %llx)\n",
+                gp.cached ? "on" : "off", g.mreads,
+                static_cast<unsigned long long>(g.reads),
+                static_cast<unsigned long long>(g.remote),
+                static_cast<unsigned long long>(g.checksum));
+    fault_footer(plan.get());
+    footer(engine, rt);
+    return export_trace(cli, tracer.get());
+  }
+  const bool grouped = variant == "grouped";
   const auto updates =
       static_cast<std::uint64_t>(cli.get_int("updates", 4096));
   cli.reject_unread("hupc_bench");

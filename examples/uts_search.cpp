@@ -5,6 +5,8 @@
 // against the sequential enumeration.
 //
 //   ./uts_search [--threads N] [--nodes M] [--seed S] [--conduit gige|ib-ddr]
+//               [--read-cache=on|off]   serve steal-probe reads through a
+//                  read-cache epoch (--cache-lines=N --cache-line-bytes=B)
 //               [--trace=FILE]       chrome://tracing JSON of the final run
 //               [--trace-summary=FILE]  per-category counts/time + counters
 //               [--fault-plan=NAME --fault-seed=S]  run under a seeded fault
@@ -20,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "comm/read_cache.hpp"
 #include "fault/fuzzer.hpp"
 #include "fault/plan.hpp"
 #include "gas/gas.hpp"
@@ -40,9 +43,15 @@ struct RunResult {
   double local_ratio;
 };
 
+struct CacheConfig {
+  bool enabled = false;
+  comm::CacheParams params;
+};
+
 RunResult explore(const uts::TreeParams& tree, int threads, int nodes,
                   const std::string& conduit, bool optimized,
-                  trace::Tracer* tracer, const fault::PlanParams* fault_plan) {
+                  const CacheConfig& cache, trace::Tracer* tracer,
+                  const fault::PlanParams* fault_plan) {
   sim::Engine engine;
   gas::Config config;
   config.machine = topo::pyramid(nodes);
@@ -63,6 +72,8 @@ RunResult explore(const uts::TreeParams& tree, int threads, int nodes,
   params.rapid_diffusion = optimized;
   params.granularity = conduit == "gige" ? 20 : 8;
   params.chunk = params.granularity;
+  params.cache_probes = cache.enabled;
+  params.cache = cache.params;
 
   sched::WorkStealing<uts::Node> ws(
       rt, params, [&tree](const uts::Node& n, std::vector<uts::Node>& out) {
@@ -98,6 +109,17 @@ int main(int argc, char** argv) try {
     throw std::invalid_argument("unknown conduit '" + conduit +
                                 "' (expected gige|ib-ddr)");
   }
+  CacheConfig cache;
+  const std::string rc = cli.get("read-cache", "off");
+  if (rc != "on" && rc != "off") {
+    throw std::invalid_argument("unknown --read-cache value '" + rc +
+                                "' (expected on|off)");
+  }
+  cache.enabled = rc == "on";
+  cache.params.lines =
+      static_cast<std::size_t>(cli.get_int("cache-lines", 256));
+  cache.params.line_bytes =
+      static_cast<std::size_t>(cli.get_int("cache-line-bytes", 64));
 
   std::printf("UTS: binomial tree, seed %u — sequential oracle first...\n",
               tree.root_seed);
@@ -128,7 +150,7 @@ int main(int argc, char** argv) try {
     // Each configuration starts a fresh trace; the exported file holds the
     // final (optimized) run.
     if (tracer) tracer->clear();
-    const auto r = explore(tree, threads, nodes, conduit, optimized,
+    const auto r = explore(tree, threads, nodes, conduit, optimized, cache,
                            tracer.get(), fault_plan.get());
     std::printf("%-28s %8.2f ms  %6.1f Mnodes/s  local steals %5.1f%%  %s\n",
                 optimized ? "local-first + diffusion:" : "random baseline:",

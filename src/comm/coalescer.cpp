@@ -102,6 +102,12 @@ sim::Task<void> Coalescer::read(int dst_node, const void* addr,
   }
 }
 
+bool Coalescer::has_conflicting_put(int dst_node, const void* addr,
+                                    std::size_t bytes) const {
+  const auto it = buffers_.find(dst_node);
+  return it != buffers_.end() && conflicts(it->second, addr, bytes);
+}
+
 sim::Task<void> Coalescer::flush(int dst_node, FlushCause cause) {
   auto it = buffers_.find(dst_node);
   if (it == buffers_.end() || it->second.ops == 0) co_return;

@@ -120,6 +120,12 @@ class Coalescer {
   [[nodiscard]] sim::Task<void> read(int dst_node, const void* addr,
                                      std::size_t bytes);
 
+  /// True when a buffered (deferred) put to `dst_node` overlaps
+  /// [addr, addr+bytes) — the read-your-writes query the read cache asks
+  /// before serving a line without routing the access through read().
+  [[nodiscard]] bool has_conflicting_put(int dst_node, const void* addr,
+                                         std::size_t bytes) const;
+
   /// Flush one destination's buffer (applies deferred puts, charges one
   /// aggregated rma). No-op when that buffer is empty.
   [[nodiscard]] sim::Task<void> flush(int dst_node,

@@ -1,0 +1,155 @@
+#include "comm/read_cache.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace hupc::comm {
+
+void ReadCache::configure(const CacheParams& params) {
+  if (params.line_bytes == 0 ||
+      (params.line_bytes & (params.line_bytes - 1)) != 0) {
+    throw std::invalid_argument(
+        "comm::CacheParams: line_bytes must be a power of two >= 1");
+  }
+  if (params.lines == 0 || params.ways == 0 ||
+      params.lines % params.ways != 0) {
+    throw std::invalid_argument(
+        "comm::CacheParams: lines and ways must be >= 1 with lines divisible "
+        "by ways");
+  }
+  if (params.api_scale <= 0.0) {
+    throw std::invalid_argument("comm::CacheParams: api_scale must be > 0");
+  }
+  params_ = params;
+  sets_ = params.lines / params.ways;
+  lines_.assign(params.lines, Line{});
+  tick_ = 0;
+}
+
+std::size_t ReadCache::set_index(int owner,
+                                 std::uint64_t line_no) const noexcept {
+  // Mix the owner in with a golden-ratio multiple so different ranks'
+  // identical line numbers spread over distinct sets, while same-owner
+  // aliasing stays predictable (line_no + k*sets maps to the same set —
+  // the property the eviction tests lean on).
+  const auto mix = line_no + static_cast<std::uint64_t>(owner) *
+                                 0x9E3779B97F4A7C15ULL;
+  return static_cast<std::size_t>(mix % static_cast<std::uint64_t>(sets_));
+}
+
+int ReadCache::find(int owner, std::uint64_t line_no) const noexcept {
+  const std::size_t base = set_index(owner, line_no) * params_.ways;
+  for (std::size_t w = 0; w < params_.ways; ++w) {
+    const Line& ln = lines_[base + w];
+    if (ln.valid && ln.owner == owner && ln.line_no == line_no) {
+      return static_cast<int>(w);
+    }
+  }
+  return -1;
+}
+
+sim::Task<bool> ReadCache::read(int owner, int dst_node, std::int64_t offset,
+                                std::size_t bytes) {
+  assert(offset >= 0 && bytes > 0 && sets_ != 0 &&
+         "configure() the cache and resolve the offset before read()");
+  const auto lb = static_cast<std::uint64_t>(params_.line_bytes);
+  const auto first = static_cast<std::uint64_t>(offset) / lb;
+  const auto last =
+      (static_cast<std::uint64_t>(offset) + bytes - 1) / lb;
+  bool all_hit = true;
+  for (std::uint64_t line_no = first; line_no <= last; ++line_no) {
+    const int way = find(owner, line_no);
+    if (way >= 0) {
+      // The fault seam may force the hit into a refill — an invalidation
+      // storm. Values cannot change (the cache holds no data); only the
+      // modeled cost schedule shifts, deterministically per plan seed.
+      if (fault_ != nullptr && fault_->drop_cached_line(rank_)) {
+        const std::size_t idx =
+            set_index(owner, line_no) * params_.ways +
+            static_cast<std::size_t>(way);
+        lines_[idx].valid = false;
+        ++stats_.invalidations;
+        HUPC_TRACE_COUNT(tracer_, "gas.cache.invalidations", rank_);
+      } else {
+        lines_[set_index(owner, line_no) * params_.ways +
+               static_cast<std::size_t>(way)]
+            .tick = ++tick_;
+        ++stats_.hits;
+        HUPC_TRACE_COUNT(tracer_, "gas.cache.hits", rank_);
+        continue;
+      }
+    }
+    all_hit = false;
+    co_await fill(owner, dst_node, line_no, bytes);
+  }
+  co_return all_hit;
+}
+
+sim::Task<void> ReadCache::fill(int owner, int dst_node,
+                                std::uint64_t line_no,
+                                std::size_t access_bytes) {
+  const std::size_t base = set_index(owner, line_no) * params_.ways;
+  std::size_t victim = base;
+  for (std::size_t w = 0; w < params_.ways; ++w) {
+    if (!lines_[base + w].valid) {
+      victim = base + w;
+      break;
+    }
+    if (lines_[base + w].tick < lines_[victim].tick) victim = base + w;
+  }
+  if (lines_[victim].valid) {
+    ++stats_.evictions;
+    HUPC_TRACE_COUNT(tracer_, "gas.cache.evictions", rank_);
+  }
+  lines_[victim] = Line{true, owner, line_no, ++tick_};
+  ++stats_.misses;
+  stats_.fetched_bytes += static_cast<double>(params_.line_bytes);
+  HUPC_TRACE_COUNT(tracer_, "gas.cache.misses", rank_);
+  // One round trip fetches the whole line; count how many accesses of
+  // this size it amortizes, so the net.aggregated/net.coalesced_ops
+  // counters expose the line-fill batching exactly like coalescer
+  // flushes do (accounting only — never timing).
+  const std::uint64_t amortized = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(params_.line_bytes /
+                                    std::max<std::size_t>(1, access_bytes)));
+  co_await net_->rma(net::Transfer{
+      .src_node = src_node_,
+      .src_ep = src_ep_,
+      .dst_node = dst_node,
+      .bytes = static_cast<double>(params_.line_bytes),
+      .api_scale = params_.api_scale,
+      .coalesced_count = amortized});
+}
+
+void ReadCache::invalidate_range(int owner, std::int64_t offset,
+                                 std::size_t bytes) {
+  if (sets_ == 0 || offset < 0 || bytes == 0) return;
+  const auto lb = static_cast<std::uint64_t>(params_.line_bytes);
+  const auto first = static_cast<std::uint64_t>(offset) / lb;
+  const auto last =
+      (static_cast<std::uint64_t>(offset) + bytes - 1) / lb;
+  for (std::uint64_t line_no = first; line_no <= last; ++line_no) {
+    const int way = find(owner, line_no);
+    if (way < 0) continue;
+    lines_[set_index(owner, line_no) * params_.ways +
+           static_cast<std::size_t>(way)]
+        .valid = false;
+    ++stats_.invalidations;
+    HUPC_TRACE_COUNT(tracer_, "gas.cache.invalidations", rank_);
+  }
+}
+
+void ReadCache::invalidate_all() {
+  std::uint64_t dropped = 0;
+  for (Line& ln : lines_) {
+    if (!ln.valid) continue;
+    ln.valid = false;
+    ++dropped;
+  }
+  if (dropped == 0) return;
+  stats_.invalidations += dropped;
+  HUPC_TRACE_COUNT(tracer_, "gas.cache.invalidations", rank_, dropped);
+}
+
+}  // namespace hupc::comm

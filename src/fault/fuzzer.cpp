@@ -11,6 +11,7 @@
 #include "net/conduit.hpp"
 #include "sched/work_stealing.hpp"
 #include "sim/engine.hpp"
+#include "stream/random_access.hpp"
 #include "topo/machine.hpp"
 #include "trace/trace.hpp"
 #include "util/rng.hpp"
@@ -200,6 +201,63 @@ CaseResult run_barrier(const CaseSpec& spec, const PlanParams& plan_params) {
   return res;
 }
 
+// Cache-pressure workload: the read-dominated gather runs with a read-cache
+// epoch open on every rank, under whatever plan the case derived (including
+// cache-storm invalidation storms). The oracle is the SAME gather stream
+// uncached and unfaulted in a fresh runtime: the checksums must match
+// bit-for-bit because the cache holds tags, never data.
+CaseResult run_gather(const CaseSpec& spec, const PlanParams& plan_params) {
+  CaseResult res;
+  trace::Tracer tracer(std::size_t{1} << 18);
+  sim::Engine engine;
+  gas::Runtime rt(engine, base_config(spec, &tracer));
+  FaultPlan plan(plan_params);
+  plan.install(rt);  // before spmd: the cache seam is read at epoch open
+
+  util::SplitMix64 sm(spec.seed ^ 0x6A74E255ULL);
+  stream::GatherParams gp;
+  gp.bursts = 4 + (sm.next() % 5);
+  gp.burst_len = 16 + (sm.next() % 17);
+  gp.cached = true;
+  gp.cache.lines = sm.next() % 2 == 0 ? 32 : 256;
+  gp.cache.line_bytes = sm.next() % 2 == 0 ? 64 : 256;
+  gp.seed = sm.next() | 1;
+
+  stream::RandomAccess ra(rt, 12);
+  stream::GatherResult cached;
+  try {
+    cached = ra.run_gather(gp);
+  } catch (const std::exception& e) {
+    res.violations.push_back(std::string("gather: exception: ") + e.what());
+    finish(res, tracer, engine, plan);
+    return res;
+  }
+
+  sim::Engine oracle_engine;
+  gas::Runtime oracle_rt(oracle_engine, base_config(spec, nullptr));
+  stream::RandomAccess oracle(oracle_rt, 12);
+  stream::GatherParams up = gp;
+  up.cached = false;
+  const stream::GatherResult uncached = oracle.run_gather(up);
+
+  comm::CacheStats total;
+  for (int r = 0; r < rt.threads(); ++r) {
+    if (const comm::CacheStats* s = rt.thread(r).read_cache_stats()) {
+      total.hits += s->hits;
+      total.misses += s->misses;
+      total.evictions += s->evictions;
+      total.invalidations += s->invalidations;
+    }
+  }
+  check_cache_transparency(cached.checksum, uncached.checksum, &total,
+                           effective(tracer), res.violations);
+  check_byte_conservation(rt, res.violations);
+  check_trace_network(effective(tracer), rt, res.violations);
+  check_virtual_time(engine, res.violations);
+  finish(res, tracer, engine, plan);
+  return res;
+}
+
 }  // namespace
 
 std::string CaseSpec::replay_command() const {
@@ -218,8 +276,9 @@ CaseSpec derive_case(std::uint64_t case_seed,
   CaseSpec spec;
   spec.seed = case_seed;
   // uts is weighted 2x: it exercises the most seams (steal + net + engine).
-  static const char* const kWorkloads[] = {"uts", "uts", "ft", "barrier"};
-  spec.workload = kWorkloads[sm.next() % 4];
+  static const char* const kWorkloads[] = {"uts", "uts", "ft", "barrier",
+                                           "gather"};
+  spec.workload = kWorkloads[sm.next() % 5];
   spec.backend = sm.next() % 2 == 0 ? "processes" : "pthreads";
   static const char* const kConduits[] = {"ib-qdr", "ib-ddr", "gige"};
   spec.conduit = kConduits[sm.next() % 3];
@@ -233,6 +292,7 @@ CaseSpec derive_case(std::uint64_t case_seed,
 CaseResult run_case(const CaseSpec& spec, const PlanParams& plan) {
   if (spec.workload == "ft") return run_ft(spec, plan);
   if (spec.workload == "barrier") return run_barrier(spec, plan);
+  if (spec.workload == "gather") return run_gather(spec, plan);
   return run_uts(spec, plan);
 }
 
@@ -257,6 +317,7 @@ PlanParams Fuzzer::shrink(const CaseSpec& spec, PlanParams failing) {
       [](PlanParams& p) { p.steal_fail_p = 0.0; },
       [](PlanParams& p) { p.spawn_width_cap = 0; },
       [](PlanParams& p) { p.alloc_fail_after_bytes = 0; },
+      [](PlanParams& p) { p.cache_invalidate_p = 0.0; },
   };
   for (const Reduce& off : group_off) {
     PlanParams candidate = failing;
@@ -274,6 +335,7 @@ PlanParams Fuzzer::shrink(const CaseSpec& spec, PlanParams failing) {
       },
       [](PlanParams& p) { p.blackout_duration_s /= 2; },
       [](PlanParams& p) { p.steal_fail_p /= 2; },
+      [](PlanParams& p) { p.cache_invalidate_p /= 2; },
   };
   for (int round = 0; round < 3; ++round) {
     bool reduced = false;

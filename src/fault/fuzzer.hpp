@@ -47,7 +47,7 @@ struct FuzzOptions {
 /// template, plan magnitudes, tree shape — is a pure function of `seed`.
 struct CaseSpec {
   std::uint64_t seed = 0;
-  std::string workload;  // "uts" | "ft" | "barrier"
+  std::string workload;  // "uts" | "ft" | "barrier" | "gather"
   std::string backend;   // "processes" | "pthreads"
   std::string conduit;   // "ib-qdr" | "ib-ddr" | "gige"
   std::string plan;      // template name

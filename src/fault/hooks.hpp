@@ -61,6 +61,15 @@ struct SpawnHook {
   [[nodiscard]] virtual int clamp_spawn_width(int requested) noexcept = 0;
 };
 
+/// Read-cache pressure (invalidation storms): a true return makes a cache
+/// hit in `rank`'s read cache demote to a line refill. The cache holds no
+/// data (tags only), so this can never change values — only the modeled
+/// cost schedule, deterministically per plan seed.
+struct CacheHook {
+  virtual ~CacheHook() = default;
+  [[nodiscard]] virtual bool drop_cached_line(int rank) noexcept = 0;
+};
+
 /// The full hook set a plan installs on a gas::Runtime. All pointers are
 /// non-owning and may be null (that seam stays untouched).
 struct Hooks {
@@ -69,6 +78,7 @@ struct Hooks {
   StealHook* steal = nullptr;
   AllocHook* alloc = nullptr;
   SpawnHook* spawn = nullptr;
+  CacheHook* cache = nullptr;
 };
 
 }  // namespace hupc::fault

@@ -62,6 +62,46 @@ void check_trace_network(const trace::Tracer* tracer, gas::Runtime& rt,
   }
 }
 
+void check_cache_transparency(std::uint64_t cached_result,
+                              std::uint64_t uncached_result,
+                              const comm::CacheStats* stats,
+                              const trace::Tracer* tracer, Violations& out) {
+  if (cached_result != uncached_result) {
+    out.push_back("cache transparency: cached result " +
+                  std::to_string(cached_result) + " != uncached result " +
+                  std::to_string(uncached_result));
+  }
+  if (stats == nullptr) return;
+  if (stats->evictions > stats->misses) {
+    out.push_back("cache accounting: evictions " +
+                  std::to_string(stats->evictions) + " > misses " +
+                  std::to_string(stats->misses) +
+                  " (a line can only be displaced after a fill)");
+  }
+  if (stats->invalidations > 0 && stats->hits + stats->misses == 0) {
+    out.push_back(
+        "cache accounting: invalidations without any serviced access");
+  }
+  if (tracer == nullptr) return;
+  const struct {
+    const char* name;
+    std::uint64_t expected;
+  } counters[] = {
+      {"gas.cache.hits", stats->hits},
+      {"gas.cache.misses", stats->misses},
+      {"gas.cache.evictions", stats->evictions},
+      {"gas.cache.invalidations", stats->invalidations},
+  };
+  for (const auto& [name, expected] : counters) {
+    const std::uint64_t traced = tracer->counter_total(name);
+    if (traced != expected) {
+      out.push_back("trace cross-check: " + std::string(name) + " " +
+                    std::to_string(traced) + " != CacheStats " +
+                    std::to_string(expected));
+    }
+  }
+}
+
 void check_barrier(gas::Runtime& rt, std::uint64_t expected_phases,
                    const trace::Tracer* tracer, Violations& out) {
   const std::uint64_t phase = rt.global_barrier().phase();

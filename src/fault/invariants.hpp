@@ -17,13 +17,18 @@
 //                            sane dispatch count;
 //   trace cross-checks     — the structured-trace counters agree with the
 //                            runtime's own counters (net.msg == messages,
-//                            sched.processed == RankStats, ...).
+//                            sched.processed == RankStats, ...);
+//   cache transparency     — the read cache shifts the modeled cost
+//                            schedule only: cached and uncached runs of
+//                            the same workload compute identical results,
+//                            and the cache's own accounting is coherent.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "comm/read_cache.hpp"
 #include "gas/runtime.hpp"
 #include "sched/work_stealing.hpp"
 #include "sim/engine.hpp"
@@ -47,6 +52,19 @@ void check_trace_network(const trace::Tracer* tracer, gas::Runtime& rt,
 /// Every rank completed exactly `expected_phases` barrier phases.
 void check_barrier(gas::Runtime& rt, std::uint64_t expected_phases,
                    const trace::Tracer* tracer, Violations& out);
+
+/// Read-cache transparency: `cached_result` and `uncached_result` are the
+/// same workload's modeled outputs (e.g. a gather checksum) with the cache
+/// on and off — they must be bit-identical, because the cache holds tags,
+/// not data. `stats` (may be null) is the CACHED run's accounting summed
+/// over every rank's Thread::read_cache_stats(): hits+misses must cover
+/// the serviced accesses, evictions can never exceed misses, and when the
+/// cached run carried a tracer its gas.cache.* counter totals must agree
+/// with the stats exactly.
+void check_cache_transparency(std::uint64_t cached_result,
+                              std::uint64_t uncached_result,
+                              const comm::CacheStats* stats,
+                              const trace::Tracer* tracer, Violations& out);
 
 /// Work conservation for a finished WorkStealing run: processed ==
 /// `expected_total`, outstanding == 0, every stack fully drained; when a

@@ -16,6 +16,7 @@ constexpr std::uint64_t kSchedSalt = 0x5C4ED01EULL;
 constexpr std::uint64_t kMsgSalt = 0x4E57F417ULL;
 constexpr std::uint64_t kStealSalt = 0x57EA1BADULL;
 constexpr std::uint64_t kAllocSalt = 0xA110CBADULL;
+constexpr std::uint64_t kCacheSalt = 0xCAC4ED05ULL;
 
 std::uint64_t salted(std::uint64_t seed, std::uint64_t salt) {
   util::SplitMix64 sm(seed ^ salt);
@@ -34,7 +35,8 @@ void append(std::string& out, const char* fmt, Args... args) {
 bool PlanParams::quiescent() const noexcept {
   return event_jitter_p <= 0.0 && msg_delay_p <= 0.0 &&
          msg_bw_degrade_p <= 0.0 && blackout_node < 0 && steal_fail_p <= 0.0 &&
-         spawn_width_cap <= 0 && alloc_fail_after_bytes == 0;
+         spawn_width_cap <= 0 && alloc_fail_after_bytes == 0 &&
+         cache_invalidate_p <= 0.0;
 }
 
 std::string PlanParams::describe() const {
@@ -62,6 +64,9 @@ std::string PlanParams::describe() const {
     append(out, " heap-pressure=%.2f after %.0f KiB", alloc_fail_p,
            static_cast<double>(alloc_fail_after_bytes) / 1024.0);
   }
+  if (cache_invalidate_p > 0.0) {
+    append(out, " cache-storm=%.2f", cache_invalidate_p);
+  }
   return out + "]";
 }
 
@@ -70,7 +75,8 @@ FaultPlan::FaultPlan(PlanParams params)
       sched_rng_(salted(params_.seed, kSchedSalt)),
       msg_rng_(salted(params_.seed, kMsgSalt)),
       steal_rng_(salted(params_.seed, kStealSalt)),
-      alloc_rng_(salted(params_.seed, kAllocSalt)) {}
+      alloc_rng_(salted(params_.seed, kAllocSalt)),
+      cache_rng_(salted(params_.seed, kCacheSalt)) {}
 
 void FaultPlan::install(gas::Runtime& rt) {
   engine_ = &rt.engine();
@@ -83,6 +89,7 @@ void FaultPlan::install(gas::Runtime& rt) {
   if (params_.steal_fail_p > 0.0) hooks.steal = this;
   if (params_.alloc_fail_after_bytes > 0) hooks.alloc = this;
   if (params_.spawn_width_cap > 0) hooks.spawn = this;
+  if (params_.cache_invalidate_p > 0.0) hooks.cache = this;
   rt.install_faults(hooks);
 }
 
@@ -146,11 +153,17 @@ int FaultPlan::clamp_spawn_width(int requested) noexcept {
   return params_.spawn_width_cap;
 }
 
+bool FaultPlan::drop_cached_line(int /*rank*/) noexcept {
+  if (cache_rng_.uniform() >= params_.cache_invalidate_p) return false;
+  ++stats_.cache_lines_dropped;
+  return true;
+}
+
 const std::vector<std::string>& plan_template_names() {
   static const std::vector<std::string> names = {
       "none",        "jitter",         "latency-spike",
       "bw-dip",      "blackout",       "steal-storm",
-      "spawn-throttle", "heap-pressure", "mixed"};
+      "spawn-throttle", "heap-pressure", "cache-storm", "mixed"};
   return names;
 }
 
@@ -203,6 +216,10 @@ PlanParams plan_template(const std::string& name, std::uint64_t seed) {
     p.alloc_fail_p = in(0.20, 1.00);
     return p;
   }
+  if (name == "cache-storm") {
+    p.cache_invalidate_p = in(0.20, 0.90);
+    return p;
+  }
   if (name == "mixed") {
     p.event_jitter_p = in(0.05, 0.20);
     p.event_jitter_max_s = in(1e-6, 5e-6);
@@ -216,7 +233,7 @@ PlanParams plan_template(const std::string& name, std::uint64_t seed) {
   throw std::invalid_argument(
       "fault::plan_template: unknown template \"" + name +
       "\" (known: none jitter latency-spike bw-dip blackout steal-storm "
-      "spawn-throttle heap-pressure mixed)");
+      "spawn-throttle heap-pressure cache-storm mixed)");
 }
 
 }  // namespace hupc::fault

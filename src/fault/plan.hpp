@@ -63,6 +63,11 @@ struct PlanParams {
   std::size_t alloc_fail_after_bytes = 0;
   double alloc_fail_p = 0.0;
 
+  // Read-cache pressure (invalidation storm): each cache hit demotes to a
+  // line refill with probability `p`. Cost-schedule-only — the cache holds
+  // tags, not data, so modeled results cannot change. 0 = off.
+  double cache_invalidate_p = 0.0;
+
   /// True when no perturbation group is enabled.
   [[nodiscard]] bool quiescent() const noexcept;
   /// One-line human-readable summary of the active groups.
@@ -78,11 +83,12 @@ struct InjectionStats {
   std::uint64_t steals_failed = 0;
   std::uint64_t allocs_failed = 0;
   std::uint64_t spawns_throttled = 0;
+  std::uint64_t cache_lines_dropped = 0;
 
   [[nodiscard]] std::uint64_t total() const noexcept {
     return events_jittered + messages_delayed + messages_degraded +
            messages_held_blackout + steals_failed + allocs_failed +
-           spawns_throttled;
+           spawns_throttled + cache_lines_dropped;
   }
 };
 
@@ -92,7 +98,8 @@ class FaultPlan final : public ScheduleHook,
                         public MessageHook,
                         public StealHook,
                         public AllocHook,
-                        public SpawnHook {
+                        public SpawnHook,
+                        public CacheHook {
  public:
   explicit FaultPlan(PlanParams params);
 
@@ -115,6 +122,7 @@ class FaultPlan final : public ScheduleHook,
   [[nodiscard]] bool fail_alloc(int owner, std::size_t bytes,
                                 std::size_t allocated) noexcept override;
   [[nodiscard]] int clamp_spawn_width(int requested) noexcept override;
+  [[nodiscard]] bool drop_cached_line(int rank) noexcept override;
 
  private:
   PlanParams params_;
@@ -124,11 +132,12 @@ class FaultPlan final : public ScheduleHook,
   util::Xoshiro256ss msg_rng_;
   util::Xoshiro256ss steal_rng_;
   util::Xoshiro256ss alloc_rng_;
+  util::Xoshiro256ss cache_rng_;
 };
 
 /// Registered plan-template names ("none", "jitter", "latency-spike",
 /// "bw-dip", "blackout", "steal-storm", "spawn-throttle", "heap-pressure",
-/// "mixed").
+/// "cache-storm", "mixed").
 [[nodiscard]] const std::vector<std::string>& plan_template_names();
 
 /// Instantiate a template: magnitudes are drawn deterministically from

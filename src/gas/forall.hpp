@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "gas/global_ptr.hpp"
 #include "gas/runtime.hpp"
@@ -37,6 +38,26 @@ template <class T, class Body>
   }
   co_await self.compute(static_cast<double>(mine) * seconds_per_element);
   co_await self.stream_local(static_cast<double>(mine) * sizeof(T));
+}
+
+/// Replicated all-read reduction: every rank walks EVERY element through
+/// the fine-grained shared path and folds it with `op(acc, value)`, so each
+/// rank ends with the full result without a collective tree — the naive
+/// `for (i...) acc = op(acc, a[i])` UPC idiom. Remote elements cost one
+/// round trip each; pass `cache` to serve them through a read-cache epoch
+/// instead (one round trip per line — consecutive elements of a remote
+/// block then hit at local cost).
+template <class T, class Op>
+[[nodiscard]] sim::Task<T> reduce_gather(
+    Thread& self, const SharedArray<T>& a, T init, Op op,
+    const comm::CacheParams* cache = nullptr) {
+  std::optional<CachedEpoch> epoch;
+  if (cache != nullptr) epoch.emplace(self, *cache);
+  T acc = init;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc = op(acc, co_await self.get(a.at(i)));
+  }
+  co_return acc;
 }
 
 /// Affinity by index (upc_forall with an integer affinity expression):

@@ -1,6 +1,7 @@
 #include "gas/heap.hpp"
 
 #include <cassert>
+#include <functional>
 #include <new>
 
 namespace hupc::gas {
@@ -32,6 +33,20 @@ void* Segment::allocate(std::size_t bytes, std::size_t align) {
   void* p = try_fit(chunks_.back());
   assert(p != nullptr);
   return p;
+}
+
+std::int64_t Segment::offset_of(const void* p) const noexcept {
+  const auto* b = static_cast<const std::byte*>(p);
+  std::int64_t vbase = 0;
+  // std::less is a total order even over pointers into unrelated arrays,
+  // which the built-in < does not guarantee.
+  const std::less<const std::byte*> lt;
+  for (const Chunk& c : chunks_) {
+    const std::byte* lo = c.data.get();
+    if (!lt(b, lo) && lt(b, lo + c.used)) return vbase + (b - lo);
+    vbase += static_cast<std::int64_t>(c.size);
+  }
+  return -1;
 }
 
 SharedHeap::SharedHeap(int threads) {

@@ -25,6 +25,14 @@ class Segment {
   /// Allocate `bytes` with `align` (power of two). Never returns nullptr.
   [[nodiscard]] void* allocate(std::size_t bytes, std::size_t align);
 
+  /// Deterministic virtual offset of `p` inside this segment, or -1 when
+  /// `p` does not point into it. Chunks occupy consecutive virtual ranges
+  /// in allocation order, so the offset depends only on the allocation
+  /// sequence — never on where the OS mapped a chunk (ASLR). Anything that
+  /// must be run-stable (the comm::ReadCache line tags) keys on these
+  /// offsets instead of raw addresses.
+  [[nodiscard]] std::int64_t offset_of(const void* p) const noexcept;
+
   [[nodiscard]] std::size_t bytes_allocated() const noexcept {
     return allocated_;
   }
@@ -98,6 +106,12 @@ class SharedHeap {
 
   [[nodiscard]] Segment& segment(int owner) {
     return *segments_[static_cast<std::size_t>(owner)];
+  }
+
+  /// Virtual offset of `p` inside `owner`'s segment, or -1 when it does
+  /// not point there (see Segment::offset_of for the determinism contract).
+  [[nodiscard]] std::int64_t offset_of(int owner, const void* p) const noexcept {
+    return segments_[static_cast<std::size_t>(owner)]->offset_of(p);
   }
 
   /// Total bytes handed out across all segments.

@@ -18,20 +18,27 @@ class GlobalLock {
 
   [[nodiscard]] int home() const noexcept { return home_; }
 
-  /// upc_lock: pay the access cost, then queue FIFO on the lock.
+  /// upc_lock: pay the access cost, then queue FIFO on the lock. Taking a
+  /// lock is a coherence point for the caller's read cache — lock-protected
+  /// data another rank just published must be re-fetched, not served from
+  /// stale lines.
   [[nodiscard]] sim::Task<void> acquire(Thread& self) {
     HUPC_TRACE_SCOPE(rt_->tracer(), trace::Category::gas, "lock", self.rank(),
                      static_cast<std::uint64_t>(home_));
     HUPC_TRACE_COUNT(rt_->tracer(), "gas.lock.acquire", self.rank());
     co_await access_cost(self);
     co_await mutex_.lock();
+    self.invalidate_read_cache();
   }
 
-  /// upc_lock_attempt: non-blocking; pays the access cost either way.
+  /// upc_lock_attempt: non-blocking; pays the access cost either way and
+  /// fences the read cache only on success.
   [[nodiscard]] sim::Task<bool> try_acquire(Thread& self) {
     HUPC_TRACE_COUNT(rt_->tracer(), "gas.lock.attempt", self.rank());
     co_await access_cost(self);
-    co_return mutex_.try_lock();
+    const bool got = mutex_.try_lock();
+    if (got) self.invalidate_read_cache();
+    co_return got;
   }
 
   /// upc_unlock. The release message to a remote home is fire-and-forget.

@@ -240,10 +240,48 @@ void Thread::abandon_coalesce() noexcept {
   coalescer_->abandon();
 }
 
+void Thread::begin_read_cache(const comm::CacheParams& params) {
+  if (caching_) {
+    throw std::logic_error(
+        "Thread::begin_read_cache: read-cache epochs do not nest (call "
+        "end_read_cache() first)");
+  }
+  if (read_cache_ == nullptr) {
+    read_cache_ = std::make_unique<comm::ReadCache>(
+        rt_->network(), rank_, loc_.node, rt_->endpoint_of(rank_),
+        rt_->tracer());
+  }
+  read_cache_->configure(params);
+  // The cache-pressure seam is read at epoch open (like the steal seam at
+  // WorkStealing construction): install fault plans before opening epochs.
+  read_cache_->set_fault(rt_->fault_hooks().cache);
+  caching_ = true;
+  HUPC_TRACE_COUNT(rt_->tracer(), "gas.cache.epoch.begin", rank_);
+}
+
+void Thread::end_read_cache() noexcept {
+  if (!caching_) return;
+  caching_ = false;
+  read_cache_->invalidate_all();
+  HUPC_TRACE_COUNT(rt_->tracer(), "gas.cache.epoch.end", rank_);
+}
+
+void Thread::invalidate_read_cache() noexcept {
+  if (caching_) read_cache_->invalidate_all();
+}
+
+void Thread::note_shared_store(int owner, const void* addr,
+                               std::size_t bytes) noexcept {
+  if (!caching_ || !remote_node(owner) || addr == nullptr) return;
+  const std::int64_t off = rt_->heap().offset_of(owner, addr);
+  if (off >= 0) read_cache_->invalidate_range(owner, off, bytes);
+}
+
 sim::Task<void> Thread::barrier() {
   HUPC_TRACE_SCOPE(rt_->tracer(), trace::Category::gas, "barrier", rank_);
   HUPC_TRACE_COUNT(rt_->tracer(), "gas.barrier", rank_);
   co_await coalesce_flush();  // fence: buffered puts visible past the barrier
+  invalidate_read_cache();    // fence: peers' pre-barrier writes observable
   co_await rt_->barrier_.arrive_and_wait();
   co_await sim::delay(rt_->engine(), rt_->barrier_cost());
 }
@@ -258,6 +296,7 @@ sim::Task<void> Thread::wait(std::uint64_t token) {
   HUPC_TRACE_SCOPE(rt_->tracer(), trace::Category::gas, "barrier.wait", rank_,
                    token);
   co_await coalesce_flush();  // fence, same as the full barrier
+  invalidate_read_cache();
   co_await rt_->barrier_.wait_phase(token);
   co_await sim::delay(rt_->engine(), rt_->barrier_cost());
 }
@@ -335,6 +374,43 @@ sim::Task<void> Thread::element_access(int owner, std::size_t bytes) {
 
 sim::Task<void> Thread::read_access(int owner, const void* addr,
                                     std::size_t bytes) {
+  if (caching_ && remote_node(owner)) {
+    // Lines are tagged by deterministic segment offsets, never raw host
+    // addresses (which differ run to run under ASLR and would leak
+    // nondeterminism into the modeled hit/miss schedule). An address the
+    // heap cannot resolve is uncacheable and falls through.
+    const std::int64_t off =
+        addr == nullptr ? -1 : rt_->heap().offset_of(owner, addr);
+    if (off >= 0) {
+      HUPC_TRACE_INSTANT(rt_->tracer(), trace::Category::gas,
+                         "element.cached", rank_, bytes,
+                         static_cast<std::uint64_t>(owner));
+      HUPC_TRACE_COUNT(rt_->tracer(), "gas.access.cached", rank_);
+      // Pointer translation is CPU work; caching only amortizes the
+      // network side of the access.
+      co_await compute(rt_->config().costs.ptr_overhead_s);
+      const int dst_node = rt_->node_of(owner);
+      if (coalescing_ &&
+          coalescer_->has_conflicting_put(dst_node, addr, bytes)) {
+        // Read-your-writes through the composition: a deferred put to
+        // this range must be observed, so the destination drains before
+        // the (possibly cached) line is served.
+        co_await coalescer_->flush(dst_node, comm::FlushCause::conflict);
+      }
+      co_await read_cache_->read(owner, dst_node, off, bytes);
+      // Hit or miss, the value itself is read at local cost (a miss
+      // already paid the line-fill round trip above).
+      co_await rt_->memory().access(loc_, loc_, 1,
+                                    static_cast<double>(bytes));
+      co_return;
+    }
+    read_cache_->count_bypass();
+  }
+  co_await uncached_read_access(owner, addr, bytes);
+}
+
+sim::Task<void> Thread::uncached_read_access(int owner, const void* addr,
+                                             std::size_t bytes) {
   if (coalescing_ && remote_node(owner)) {
     HUPC_TRACE_INSTANT(rt_->tracer(), trace::Category::gas, "element.coalesced",
                        rank_, bytes, static_cast<std::uint64_t>(owner));
@@ -346,6 +422,15 @@ sim::Task<void> Thread::read_access(int owner, const void* addr,
     co_return;
   }
   co_await element_access(owner, bytes);
+}
+
+sim::Task<void> Thread::rmw_access(int owner, const void* addr,
+                                   std::size_t bytes) {
+  // An AMO must observe the remote value and publish its update: it never
+  // serves from the cache, and it drops the covered line so a later get
+  // re-fetches.
+  if (caching_) note_shared_store(owner, addr, bytes);
+  co_await uncached_read_access(owner, addr, bytes);
 }
 
 sim::Task<void> Thread::coalesced_put(int owner, void* dst, const void* value,
@@ -365,6 +450,10 @@ sim::Task<void> Thread::copy_raw_from(topo::HwLoc at, int peer, void* dst,
     // no-ops when that destination holds nothing.
     co_await coalescer_->flush(rt_->node_of(peer), comm::FlushCause::fence);
   }
+  // Bulk transfers are coherence points for the read cache: the moved
+  // range is unknown at line granularity (raw pointers, any shape), so
+  // conservatively drop everything. Host-side, free.
+  invalidate_read_cache();
   if (dst != nullptr && src != nullptr && bytes > 0) {
     std::memcpy(dst, src, bytes);  // the real data moves unconditionally
   }

@@ -22,8 +22,15 @@
 //     CoalesceEpoch RAII guard), in which case remote accesses aggregate
 //     into per-destination buffers flushed as one message per destination
 //     (comm::Coalescer; Berkeley-UPC/GASNet-VIS-style software
-//     aggregation). With no epoch open every path is bit-identical to a
-//     build without the coalescing engine.
+//     aggregation) — or a read-cache epoch is open (begin_read_cache /
+//     CachedEpoch), in which case remote GETs are served through a
+//     line-granularity software cache (comm::ReadCache): one round trip
+//     fetches an aligned line, later gets to it cost local access only.
+//     Coherence is epoch-scoped (fences, locks, AMOs and this rank's own
+//     puts invalidate; the coalescer's deferred-put buffer is consulted
+//     first so read-your-writes holds through the composition). With no
+//     epoch open every path is bit-identical to a build without either
+//     engine.
 #pragma once
 
 #include <cassert>
@@ -34,6 +41,7 @@
 #include <vector>
 
 #include "comm/coalescer.hpp"
+#include "comm/read_cache.hpp"
 #include "fault/hooks.hpp"
 #include "gas/global_ptr.hpp"
 #include "gas/heap.hpp"
@@ -169,6 +177,30 @@ class Thread {
     return coalescer_ == nullptr ? nullptr : &coalescer_->stats();
   }
 
+  // --- read-cache epochs (comm::ReadCache) -------------------------------
+  /// Open a read-cache epoch: until end_read_cache(), fine-grained GETs of
+  /// data homed on OTHER nodes are served through a set-associative line
+  /// cache — a miss fetches one aligned line in one round trip, later gets
+  /// to that line cost a local access. The cache holds tags only (host
+  /// memory stays the single value ground truth), so it shifts the MODELED
+  /// cost schedule and nothing else. Coherence: barriers/wait() and lock
+  /// acquires drop everything; AMOs and this rank's own puts/bulk copies
+  /// drop the covered lines; inside a coalescing epoch the deferred-put
+  /// buffer is consulted (and conflict-flushed) before a line is served.
+  /// Epochs do not nest.
+  void begin_read_cache(const comm::CacheParams& params = {});
+  /// Close the epoch, dropping every line. Unlike end_coalesce() there is
+  /// nothing deferred to settle, so closing is synchronous and free; a
+  /// no-op when no epoch is open.
+  void end_read_cache() noexcept;
+  /// Explicit coherence point: drop every line, keep the epoch open.
+  void invalidate_read_cache() noexcept;
+  [[nodiscard]] bool read_caching() const noexcept { return caching_; }
+  /// Lifetime read-cache statistics (null before the first epoch).
+  [[nodiscard]] const comm::CacheStats* read_cache_stats() const noexcept {
+    return read_cache_ == nullptr ? nullptr : &read_cache_->stats();
+  }
+
   // --- fine-grained element access (really reads/writes memory) --------
   template <class T>
   [[nodiscard]] sim::Task<T> get(GlobalPtr<const T> src) {
@@ -181,6 +213,9 @@ class Thread {
   }
   template <class T>
   [[nodiscard]] sim::Task<void> put(GlobalPtr<T> dst, T value) {
+    // Read-your-writes through the cache: this rank's own store drops any
+    // line covering the target, so a later get re-fetches it.
+    if (caching_) note_shared_store(dst.owner, dst.raw, sizeof(T));
     if (coalescing_ && remote_node(dst.owner)) {
       co_await coalesced_put(dst.owner, dst.raw, &value, sizeof(T));
       co_return;
@@ -194,17 +229,18 @@ class Thread {
   /// (remote AMOs are a network round trip, like locks) — or, inside a
   /// coalescing epoch, joins the destination's aggregated message (the
   /// value applies immediately; read-your-writes is preserved by the
-  /// conflict flush).
+  /// conflict flush). AMOs never serve from the read cache: a cached
+  /// epoch's rmw_access bypasses it and drops the covered line.
   template <class T>
   [[nodiscard]] sim::Task<T> fetch_add(GlobalPtr<T> target, T delta) {
-    co_await read_access(target.owner, target.raw, sizeof(T));
+    co_await rmw_access(target.owner, target.raw, sizeof(T));
     const T old = *target.raw;
     *target.raw = old + delta;
     co_return old;
   }
   template <class T>
   [[nodiscard]] sim::Task<T> fetch_xor(GlobalPtr<T> target, T mask) {
-    co_await read_access(target.owner, target.raw, sizeof(T));
+    co_await rmw_access(target.owner, target.raw, sizeof(T));
     const T old = *target.raw;
     *target.raw = old ^ mask;
     co_return old;
@@ -213,7 +249,7 @@ class Thread {
   template <class T>
   [[nodiscard]] sim::Task<T> compare_swap(GlobalPtr<T> target, T expected,
                                           T desired) {
-    co_await read_access(target.owner, target.raw, sizeof(T));
+    co_await rmw_access(target.owner, target.raw, sizeof(T));
     const T old = *target.raw;
     if (old == expected) *target.raw = desired;
     co_return old;
@@ -321,9 +357,15 @@ class Thread {
   /// Cost of reading one word of another thread's shared metadata (e.g. a
   /// steal-stack's work counter) without moving payload. Coalescible: the
   /// probe has no conflicting address, so inside an epoch it joins the
-  /// destination's aggregate unconditionally.
+  /// destination's aggregate unconditionally. The addressless form cannot
+  /// be cached (no line to tag); pass the counter's shared address to make
+  /// the probe cacheable inside a read-cache epoch.
   [[nodiscard]] sim::Task<void> shared_probe_cost(int owner) {
     return read_access(owner, nullptr, sizeof(std::uint64_t));
+  }
+  [[nodiscard]] sim::Task<void> shared_probe_cost(int owner,
+                                                  const void* addr) {
+    return read_access(owner, addr, sizeof(std::uint64_t));
   }
 
   // Plumbing shared with the sub-thread layer (hupc::core).
@@ -338,22 +380,38 @@ class Thread {
 
  private:
   [[nodiscard]] sim::Task<void> element_access(int owner, std::size_t bytes);
-  /// Read-class fine-grained access (get / AMO / metadata probe): routes
-  /// through the coalescer inside an epoch (conflict-flushing buffered
-  /// puts overlapping [addr, addr+bytes)), else charges element_access.
+  /// Read-class fine-grained access (get / metadata probe): serves from
+  /// the read cache inside a cached epoch (consulting the coalescer's
+  /// deferred puts first), else routes through the coalescer inside a
+  /// coalescing epoch (conflict-flushing buffered puts overlapping
+  /// [addr, addr+bytes)), else charges element_access.
   [[nodiscard]] sim::Task<void> read_access(int owner, const void* addr,
                                             std::size_t bytes);
+  /// read_access with the cache branch skipped (AMOs; cache bypass).
+  [[nodiscard]] sim::Task<void> uncached_read_access(int owner,
+                                                     const void* addr,
+                                                     std::size_t bytes);
+  /// Read-modify-write access (AMOs): never cache-served; drops the
+  /// covered line so a later get re-fetches the updated value.
+  [[nodiscard]] sim::Task<void> rmw_access(int owner, const void* addr,
+                                           std::size_t bytes);
   /// Deferred fine-grained put through the open epoch's coalescer.
   [[nodiscard]] sim::Task<void> coalesced_put(int owner, void* dst,
                                               const void* value,
                                               std::size_t bytes);
+  /// Own-write coherence: drop any cached lines covering a store this
+  /// rank is making (host-side, free; no-op outside a cached epoch).
+  void note_shared_store(int owner, const void* addr,
+                         std::size_t bytes) noexcept;
   [[nodiscard]] bool remote_node(int owner) const;
 
   Runtime* rt_;
   int rank_;
   topo::HwLoc loc_;
   bool coalescing_ = false;
+  bool caching_ = false;
   std::unique_ptr<comm::Coalescer> coalescer_;  // lazily built, reused
+  std::unique_ptr<comm::ReadCache> read_cache_;  // lazily built, reused
 };
 
 /// RAII coalescing epoch: opens on construction; co_await end() to flush
@@ -376,6 +434,34 @@ class CoalesceEpoch {
   [[nodiscard]] sim::Task<void> end() {
     open_ = false;
     return thread_->end_coalesce();
+  }
+
+ private:
+  Thread* thread_;
+  bool open_ = true;
+};
+
+/// RAII read-cache epoch, symmetric to CoalesceEpoch. Closing drops every
+/// line and is free (the cache holds tags, not data), so unlike
+/// CoalesceEpoch there is nothing to await and no abandon discrepancy:
+/// the destructor alone is a complete, exception-safe close.
+class CachedEpoch {
+ public:
+  explicit CachedEpoch(Thread& t, const comm::CacheParams& params = {})
+      : thread_(&t) {
+    t.begin_read_cache(params);
+  }
+  CachedEpoch(const CachedEpoch&) = delete;
+  CachedEpoch& operator=(const CachedEpoch&) = delete;
+  ~CachedEpoch() {
+    if (open_) thread_->end_read_cache();
+  }
+
+  /// Explicit close (the destructor covers every path; this exists for
+  /// call sites that want the epoch over before more work happens).
+  void end() noexcept {
+    open_ = false;
+    thread_->end_read_cache();
   }
 
  private:
@@ -435,9 +521,10 @@ class Runtime {
 
   // --- fault injection ---------------------------------------------------
   /// Install a fault-hook set (non-owning): wires the engine, network and
-  /// heap seams immediately and exposes the steal/spawn hooks to the layers
-  /// that consume them at construction time (sched::WorkStealing,
-  /// core::SubPool) — install before building those. Call with a default
+  /// heap seams immediately and exposes the steal/spawn/cache hooks to the
+  /// layers that consume them at construction or epoch-open time
+  /// (sched::WorkStealing, core::SubPool, Thread::begin_read_cache) —
+  /// install before building/opening those. Call with a default
   /// Hooks{} to uninstall. All seams are null/off by default; an
   /// uninstalled runtime is bit-identical to one built without the seams.
   void install_faults(const fault::Hooks& hooks);

@@ -22,7 +22,16 @@ template <class T>
 class StealStack {
  public:
   StealStack(gas::Runtime& rt, int owner, int chunk)
-      : rt_(&rt), owner_(owner), chunk_(chunk), lock_(rt, owner) {}
+      : rt_(&rt),
+        owner_(owner),
+        chunk_(chunk),
+        lock_(rt, owner),
+        // The shared portion's size lives at a real shared address so
+        // thief probes have a line to cache (shared_probe_cost with an
+        // address); kept in sync host-side on every mutation, free.
+        count_(rt.heap().alloc<std::uint64_t>(owner, 1)) {
+    *count_.raw = 0;
+  }
 
   [[nodiscard]] int owner() const noexcept { return owner_; }
   [[nodiscard]] int chunk() const noexcept { return chunk_; }
@@ -47,6 +56,7 @@ class StealStack {
       shared_.push_back(std::move(local_.front()));
       local_.pop_front();
     }
+    sync_count();
     ++releases_;
     co_await lock_.release(self);
   }
@@ -63,15 +73,19 @@ class StealStack {
       shared_.pop_back();
       got = true;
     }
+    sync_count();
     co_await lock_.release(self);
     co_return got;
   }
 
   // --- thief-side --------------------------------------------------------
   /// Remote metadata probe: how much stealable work is visible? Charges a
-  /// fine-grained shared read from the thief's position.
+  /// fine-grained shared read of the owner's count cell from the thief's
+  /// position; inside a read-cache epoch repeated probes of the same
+  /// victim hit the cached line (invalidated again by the thief's own
+  /// lock acquires and bulk steals).
   [[nodiscard]] sim::Task<std::size_t> probe(gas::Thread& thief) {
-    co_await thief.shared_probe_cost(owner_);
+    co_await thief.shared_probe_cost(owner_, count_.raw);
     co_return shared_.size();
   }
 
@@ -108,6 +122,7 @@ class StealStack {
         out.push_back(std::move(shared_.front()));
         shared_.pop_front();
       }
+      sync_count();
       if (diffused && test_split_off_by_one) {
         // Planted bug: the split boundary is copied instead of moved, so
         // the boundary item is now owned by both sides of the split.
@@ -124,10 +139,13 @@ class StealStack {
   [[nodiscard]] std::uint64_t releases() const noexcept { return releases_; }
 
  private:
+  void sync_count() noexcept { *count_.raw = shared_.size(); }
+
   gas::Runtime* rt_;
   int owner_;
   int chunk_;
   gas::GlobalLock lock_;
+  gas::GlobalPtr<std::uint64_t> count_;
   std::deque<T> local_;
   std::deque<T> shared_;
   std::uint64_t releases_ = 0;

@@ -23,9 +23,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "comm/coalescer.hpp"
+#include "comm/read_cache.hpp"
 #include "fault/hooks.hpp"
 #include "gas/gas.hpp"
 #include "sched/steal_stack.hpp"
@@ -53,6 +55,14 @@ struct StealParams {
   /// stolen payloads still ship on the bulk path.
   bool coalesce_probes = false;
   comm::Params coalesce{};
+  /// Serve the discovery sweeps' probe reads through a read-cache epoch
+  /// held open for the whole run(): re-probing a victim whose count line
+  /// is still cached costs a local access instead of a round trip. The
+  /// thief's own lock acquires and bulk steal transfers invalidate its
+  /// cache, so every successful steal re-fetches fresh counts. Composes
+  /// with coalesce_probes (the cache is consulted first).
+  bool cache_probes = false;
+  comm::CacheParams cache{};
   /// Test-only: plant an off-by-one in the rapid-diffusion split (the
   /// boundary item is duplicated across the split). Exists so fuzz tests
   /// can prove fault::Fuzzer catches real conservation bugs; never enable
@@ -105,6 +115,11 @@ class WorkStealing {
                            (0x9E3779B97F4A7C15ULL * (me + 1)));
     std::vector<T> children;
     sim::Time backoff = 2 * sim::kMicrosecond;
+    // One epoch spans the whole state machine: coherence events inside
+    // (locks, bulk steals) invalidate as they happen, and the guard's
+    // destructor closes the epoch on every exit path, including unwinds.
+    std::optional<gas::CachedEpoch> cache_epoch;
+    if (params_.cache_probes) cache_epoch.emplace(self, params_.cache);
 
     while (outstanding_ > 0) {
       // --- Working ------------------------------------------------------

@@ -1,6 +1,7 @@
 #include "stream/random_access.hpp"
 
 #include <cassert>
+#include <optional>
 #include <stdexcept>
 #include <vector>
 
@@ -16,6 +17,49 @@ RandomAccess::RandomAccess(gas::Runtime& rt, int log2_table)
   const std::uint64_t block = size / static_cast<std::uint64_t>(rt.threads());
   table_ = rt.heap().all_alloc<std::uint64_t>(size, block);
   for (std::uint64_t i = 0; i < size; ++i) *table_.at(i).raw = i;
+}
+
+GatherResult RandomAccess::run_gather(const GatherParams& params) {
+  auto& rt = *rt_;
+  GatherResult result;
+  result.reads = params.bursts * params.burst_len *
+                 static_cast<std::uint64_t>(rt.threads()) *
+                 static_cast<std::uint64_t>(params.passes);
+
+  std::uint64_t remote_total = 0, checksum = 0;
+
+  rt.spmd([&, params](gas::Thread& t) -> sim::Task<void> {
+    co_await t.barrier();
+    // The epoch (if any) spans every pass; barriers inside would fence it,
+    // and the guard's destructor closes it on any unwind.
+    std::optional<gas::CachedEpoch> epoch;
+    if (params.cached) epoch.emplace(t, params.cache);
+    std::uint64_t x =
+        params.seed + 0x9E3779B97F4A7C15ULL *
+                          static_cast<std::uint64_t>(t.rank() + 1);
+    std::uint64_t sum = 0;
+    for (int pass = 0; pass < params.passes; ++pass) {
+      for (std::uint64_t b = 0; b < params.bursts; ++b) {
+        x = hpcc_next(x);
+        const std::uint64_t start = x & mask_;
+        for (std::uint64_t k = 0; k < params.burst_len; ++k) {
+          const std::uint64_t idx = (start + k) & mask_;
+          if (!t.castable(table_.owner_of(idx))) ++remote_total;
+          sum ^= co_await t.get(table_.at(idx));
+        }
+      }
+    }
+    checksum ^= sum;  // xor-fold: order-independent across ranks
+    if (epoch) epoch->end();
+    co_await t.barrier();
+  });
+  rt.run_to_completion();
+
+  result.seconds = sim::to_seconds(rt.engine().now());
+  result.mreads = static_cast<double>(result.reads) / result.seconds / 1e6;
+  result.remote = remote_total;
+  result.checksum = checksum;
+  return result;
 }
 
 bool RandomAccess::verify() const {

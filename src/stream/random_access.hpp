@@ -18,13 +18,23 @@
 //              destination node transparently, amortizing the per-message
 //              API cost without restructuring the application loop.
 //
+// A read-dominated companion workload (run_gather) reads random bursts of
+// CONSECUTIVE table elements instead of updating random single words —
+// the access shape where fine-grained UPC gets lose hardest to per-access
+// latency, and where the runtime's read cache (comm::ReadCache, epoch
+// opened when GatherParams::cached is set) collapses each remote burst to
+// one line fill per cache line instead of one round trip per element.
+//
 // Verification follows HPCC: applying the same update stream twice must
-// restore the table to its initial contents (xor is an involution).
+// restore the table to its initial contents (xor is an involution); the
+// gather variant xor-folds every value read into an order-independent
+// checksum that must be identical with the cache on and off.
 #pragma once
 
 #include <cstdint>
 
 #include "comm/coalescer.hpp"
+#include "comm/read_cache.hpp"
 #include "gas/gas.hpp"
 #include "sim/sim.hpp"
 
@@ -38,6 +48,26 @@ struct GupsResult {
   std::uint64_t updates = 0;
   std::uint64_t local = 0;   // applied through privatized pointers
   std::uint64_t remote = 0;  // fine-grained AMOs or bucketed shipments
+};
+
+/// The read-dominated gather workload: every rank reads `bursts` random
+/// bursts of `burst_len` consecutive table elements per pass.
+struct GatherParams {
+  std::uint64_t bursts = 32;
+  std::uint64_t burst_len = 64;
+  int passes = 1;
+  /// Serve remote gets through a read-cache epoch (comm::ReadCache).
+  bool cached = false;
+  comm::CacheParams cache{};
+  std::uint64_t seed = 0x9A7E5ULL;
+};
+
+struct GatherResult {
+  double seconds = 0;
+  double mreads = 0;  // million reads per second
+  std::uint64_t reads = 0;
+  std::uint64_t remote = 0;    // reads of non-castable (off-supernode) data
+  std::uint64_t checksum = 0;  // xor-fold of every value read; cache-invariant
 };
 
 class RandomAccess {
@@ -54,6 +84,12 @@ class RandomAccess {
                                std::uint64_t updates_per_thread,
                                int passes = 1,
                                const comm::Params& coalesce = {});
+
+  /// Run the read-dominated gather workload (one use per Runtime, like
+  /// run()). The checksum depends only on the table contents and the
+  /// gather stream — never on GatherParams::cached, which changes the
+  /// modeled cost schedule and nothing else.
+  [[nodiscard]] GatherResult run_gather(const GatherParams& params = {});
 
   /// True when the table equals its initial contents (HPCC verification).
   [[nodiscard]] bool verify() const;

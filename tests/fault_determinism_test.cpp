@@ -53,6 +53,14 @@ TEST(GoldenDeterminism, BarrierStormUnderJitter) {
   expect_bit_identical(spec_of(99, "barrier", "jitter"));
 }
 
+TEST(GoldenDeterminism, CachedGatherUnderCacheStorm) {
+  expect_bit_identical(spec_of(555, "gather", "cache-storm"));
+}
+
+TEST(GoldenDeterminism, CachedGatherUnderLatencySpikes) {
+  expect_bit_identical(spec_of(808, "gather", "latency-spike"));
+}
+
 TEST(GoldenDeterminism, DifferentFaultSeedsDiverge) {
   // Sanity: the seed actually reaches the perturbations — two seeds of the
   // same template must not collapse onto one schedule.

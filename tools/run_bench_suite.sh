@@ -54,6 +54,7 @@ export HUPC_GIT_SHA
 # suite needs more repetitions plus warmup to tame host noise.
 sim_suites=(
   bench_ablation_coalesce
+  bench_ablation_readcache
   bench_ablation_steal
   bench_gups_groups
   bench_fig_3_3_uts_scaling
