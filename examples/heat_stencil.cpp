@@ -8,11 +8,19 @@
 // serial reference to machine precision, and the privatized variant is
 // faster in virtual time.
 //
+// With --async=on a third variant runs: halos are PUSHED with copy_async
+// into neighbour mailboxes and the interior update overlaps the transfers
+// (split-phase producer-push, thesis §4.2's overlap idiom on the new
+// completion layer). It must match the same serial reference.
+//
 //   ./heat_stencil [--threads N] [--nodes M] [--cells 4096] [--steps 200]
+//                  [--async=on|off]
 #include <cmath>
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "async/future.hpp"
 #include "core/core.hpp"
 #include "gas/gas.hpp"
 #include "sim/sim.hpp"
@@ -48,7 +56,14 @@ int main(int argc, char** argv) {
   const int nodes = static_cast<int>(cli.get_int("nodes", 2));
   const auto cells = static_cast<std::size_t>(cli.get_int("cells", 4096));
   const int steps = static_cast<int>(cli.get_int("steps", 200));
+  const std::string async_opt = cli.get("async", "off");
   cli.reject_unread("heat_stencil");
+  if (async_opt != "on" && async_opt != "off") {
+    std::printf("unknown --async value '%s' (expected on|off)\n",
+                async_opt.c_str());
+    return 1;
+  }
+  const bool run_async = async_opt == "on";
   const std::size_t per = cells / static_cast<std::size_t>(threads);
   if (per * static_cast<std::size_t>(threads) != cells) {
     std::printf("cells must divide by threads\n");
@@ -135,6 +150,93 @@ int main(int argc, char** argv) {
                 "virtual time %.3f ms\n",
                 privatized ? "privatized" : "upc-get", cells, steps, threads,
                 max_err, sim::to_seconds(engine.now()) * 1e3);
+    if (max_err > 1e-12) return 1;
+  }
+
+  if (run_async) {
+    // Producer-push variant on the completion layer: each rank PUSHES its
+    // edge cells into neighbour mailboxes with copy_async, updates its
+    // interior while the puts are in flight, then settles the futures with
+    // when_all before touching the boundary cells.
+    sim::Engine engine;
+    gas::Config config;
+    config.machine = topo::lehman(nodes);
+    config.threads = threads;
+    gas::Runtime rt(engine, config);
+
+    auto u = rt.heap().all_alloc<double>(cells, per);
+    auto v = rt.heap().all_alloc<double>(cells, per);
+    // Per-rank halo in-boxes: lbox[r] holds r's left halo (written by
+    // r-1), rbox[r] its right halo (written by r+1).
+    auto lbox = rt.heap().all_alloc<double>(static_cast<std::size_t>(threads),
+                                            1);
+    auto rbox = rt.heap().all_alloc<double>(static_cast<std::size_t>(threads),
+                                            1);
+
+    rt.spmd([&](gas::Thread& t) -> sim::Task<void> {
+      const auto base = static_cast<std::size_t>(t.rank()) * per;
+      double* mine_u = u.slice(t.rank());
+      double* mine_v = v.slice(t.rank());
+      for (std::size_t i = 0; i < per; ++i) {
+        mine_u[i] = base + i < cells / 2 ? 1.0 : 0.0;
+      }
+      co_await t.barrier();
+
+      double* cur = mine_u;
+      double* nxt = mine_v;
+      for (int s = 0; s < steps; ++s) {
+        // Snapshot the edges (the puts must not observe this step's
+        // updates) and push them to the neighbours' mailboxes.
+        const double left_edge = cur[0];
+        const double right_edge = cur[per - 1];
+        std::vector<async::future<>> puts;
+        if (t.rank() > 0) {
+          puts.push_back(t.copy_async(rbox.at(t.rank() - 1), &left_edge, 1));
+        }
+        if (t.rank() + 1 < t.threads()) {
+          puts.push_back(t.copy_async(lbox.at(t.rank() + 1), &right_edge, 1));
+        }
+        // Interior update overlaps the in-flight halo puts.
+        for (std::size_t i = 1; i + 1 < per; ++i) {
+          nxt[i] = cur[i] + kAlpha * (cur[i - 1] - 2.0 * cur[i] + cur[i + 1]);
+        }
+        co_await t.compute(static_cast<double>(per) * 4.0 /
+                           (t.runtime().config().machine.core_flops() * 0.5));
+        co_await async::when_all(std::move(puts)).wait();
+        co_await t.barrier();  // every mailbox is filled past this point
+        const double left_halo =
+            t.rank() > 0 ? *lbox.at(t.rank()).raw : cur[0];
+        const double right_halo =
+            t.rank() + 1 < t.threads() ? *rbox.at(t.rank()).raw : cur[per - 1];
+        nxt[0] = cur[0] + kAlpha * (left_halo - 2.0 * cur[0] +
+                                    (per > 1 ? cur[1] : right_halo));
+        if (per > 1) {
+          nxt[per - 1] = cur[per - 1] + kAlpha * (cur[per - 2] -
+                                                  2.0 * cur[per - 1] +
+                                                  right_halo);
+        }
+        // Nobody may refill a mailbox before its owner consumed it.
+        co_await t.barrier();
+        std::swap(cur, nxt);
+      }
+      co_return;
+    });
+    rt.run_to_completion();
+
+    const auto& result_arr = steps % 2 == 0 ? u : v;
+    double max_err = 0.0;
+    for (int r = 0; r < threads; ++r) {
+      const double* slab = result_arr.slice(r);
+      for (std::size_t i = 0; i < per; ++i) {
+        max_err = std::max(
+            max_err,
+            std::abs(slab[i] - reference[static_cast<std::size_t>(r) * per + i]));
+      }
+    }
+    std::printf("%-12s %zu cells, %d steps, %d threads: max err %.2e, "
+                "virtual time %.3f ms\n",
+                "async-halo", cells, steps, threads, max_err,
+                sim::to_seconds(engine.now()) * 1e3);
     if (max_err > 1e-12) return 1;
   }
   return 0;

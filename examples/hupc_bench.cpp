@@ -6,6 +6,9 @@
 //                [--machine lehman|pyramid] [--nodes N] [--threads T]
 //                [--backend processes|pthreads] [--conduit ib-qdr|ib-ddr|gige]
 //                [--subs S]            (ft: sub-threads per UPC thread)
+//                [--async=on|off]      (ft: drain the all-to-all through the
+//                                       promise-based completion layer (on,
+//                                       default) or the legacy waitsync loop)
 //                [--variant ...]       (workload-specific, see below)
 //                [--trace=FILE]        (chrome://tracing JSON of the run)
 //                [--trace-summary=FILE] (per-category counts/time + counters)
@@ -206,6 +209,19 @@ int run_uts(const util::Cli& cli) {
   return export_trace(cli, tracer.get());
 }
 
+/// `--async=on|off`: route non-blocking transfers through the promise-based
+/// completion layer (async::future + when_all) or the legacy per-handle
+/// waitsync loop. Strict on|off: a typo must not silently measure the wrong
+/// completion path.
+bool async_flag(const util::Cli& cli, bool fallback) {
+  const std::string v = cli.get("async", fallback ? "on" : "off");
+  if (v != "on" && v != "off") {
+    throw std::invalid_argument("unknown --async value '" + v +
+                                "' (expected on|off)");
+  }
+  return v == "on";
+}
+
 int run_ft(const util::Cli& cli) {
   sim::Engine engine;
   auto tracer = make_tracer(cli);
@@ -224,6 +240,7 @@ int run_ft(const util::Cli& cli) {
                    ? fft::CommVariant::overlap
                    : fft::CommVariant::split_phase;
   fc.subs = static_cast<int>(cli.get_int("subs", 0));
+  fc.async = async_flag(cli, true);
   cli.reject_unread("hupc_bench");
   fft::FtModel ft(rt, fc);
   rt.spmd([&ft](gas::Thread& t) -> sim::Task<void> { co_await ft.run(t); });

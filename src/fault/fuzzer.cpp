@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "async/rpc.hpp"
 #include "fft/ft_model.hpp"
 #include "gas/runtime.hpp"
 #include "net/conduit.hpp"
@@ -26,6 +27,7 @@ namespace {
 // paths while keeping a single case in the low milliseconds.
 constexpr int kFuzzThreads = 8;
 constexpr int kFuzzNodes = 2;
+constexpr std::size_t kAsyncWords = 16;  // per-slot payload of run_async
 
 gas::Config base_config(const CaseSpec& spec, trace::Tracer* tracer) {
   gas::Config cfg;
@@ -258,6 +260,110 @@ CaseResult run_gather(const CaseSpec& spec, const PlanParams& plan_params) {
   return res;
 }
 
+// Async-completion workload: every rank overlaps copy_asyncs into its ring
+// neighbour's slot with RPC traffic, recording (issue, resolve) times and a
+// firing count for every copy. check_async_ordering then asserts each
+// future resolved exactly once and never before its issue — the property a
+// completion-storm plan (which HOLDS completions) must preserve — and a
+// chained RPC probe asserts read-your-writes: once a copy_async's future
+// resolves, the destination rank observes the payload.
+CaseResult run_async(const CaseSpec& spec, const PlanParams& plan_params) {
+  CaseResult res;
+  trace::Tracer tracer(std::size_t{1} << 18);
+  sim::Engine engine;
+  gas::Runtime rt(engine, base_config(spec, &tracer));
+  FaultPlan plan(plan_params);
+  plan.install(rt);
+  async::RpcDomain domain(rt);
+
+  util::SplitMix64 sm(spec.seed ^ 0xA57C5EEDULL);
+  const int rounds = 2 + static_cast<int>(sm.next() % 3);
+  
+
+  std::vector<gas::GlobalPtr<std::uint64_t>> slot(
+      static_cast<std::size_t>(kFuzzThreads));
+  for (int r = 0; r < kFuzzThreads; ++r) {
+    slot[static_cast<std::size_t>(r)] = rt.heap().alloc<std::uint64_t>(
+        r, kAsyncWords);
+  }
+
+  std::vector<std::vector<AsyncOpRecord>> records(
+      static_cast<std::size_t>(kFuzzThreads));
+  int stale_reads = 0;
+
+  rt.spmd([&](gas::Thread& t) -> sim::Task<void> {
+    const int rank = t.rank();
+    const auto next = static_cast<std::size_t>((rank + 1) % t.threads());
+    std::vector<std::uint64_t> payload(kAsyncWords);
+    for (int round = 0; round < rounds; ++round) {
+      for (std::size_t w = 0; w < kAsyncWords; ++w) {
+        payload[w] = (static_cast<std::uint64_t>(rank) << 32) |
+                     static_cast<std::uint64_t>(round) * kAsyncWords | w;
+      }
+      const std::uint64_t expect = payload[kAsyncWords - 1];
+
+      auto& mine = records[static_cast<std::size_t>(rank)];
+      const std::size_t idx = mine.size();
+      mine.push_back(AsyncOpRecord{engine.now(), -1, 0});
+      auto copied =
+          t.copy_async(slot[next], payload.data(), kAsyncWords)
+              .then([&records, &engine, rank, idx] {
+                AsyncOpRecord& op =
+                    records[static_cast<std::size_t>(rank)][idx];
+                ++op.completions;
+                op.completed_at = engine.now();
+              });
+      // Read-your-writes probe: chained AFTER the copy resolves, the
+      // destination rank reads its own slot — it must see the payload.
+      auto probed =
+          copied
+              .then([&domain, &t, p = slot[next]] {
+                return domain.call(t, p.owner, [p](gas::Thread&) {
+                  return p.raw[kAsyncWords - 1];
+                });
+              })
+              .then([&stale_reads, expect](const std::uint64_t& got) {
+                if (got != expect) ++stale_reads;
+              });
+      // Unrelated concurrent RPC so completions from different op kinds
+      // interleave under the storm.
+      auto side = domain
+                      .call(t, (rank + 3) % t.threads(),
+                            [](gas::Thread& at, int x) { return x + at.rank(); },
+                            round)
+                      .then([](const int&) {});
+      std::vector<async::future<>> pending;
+      pending.push_back(std::move(probed));
+      pending.push_back(std::move(side));
+      co_await async::when_all(std::move(pending)).wait();
+      co_await t.barrier();  // slots are reused next round
+    }
+  });
+  try {
+    rt.run_to_completion();
+  } catch (const std::exception& e) {
+    res.violations.push_back(std::string("async: exception: ") + e.what());
+    finish(res, tracer, engine, plan);
+    return res;
+  }
+
+  std::vector<AsyncOpRecord> all;
+  for (const auto& per_rank : records) {
+    all.insert(all.end(), per_rank.begin(), per_rank.end());
+  }
+  check_async_ordering(all, effective(tracer), res.violations);
+  if (stale_reads > 0) {
+    res.violations.push_back(
+        "async read-your-writes: " + std::to_string(stale_reads) +
+        " RPC probe(s) observed stale data after copy_async resolution");
+  }
+  check_byte_conservation(rt, res.violations);
+  check_trace_network(effective(tracer), rt, res.violations);
+  check_virtual_time(engine, res.violations);
+  finish(res, tracer, engine, plan);
+  return res;
+}
+
 }  // namespace
 
 std::string CaseSpec::replay_command() const {
@@ -277,8 +383,8 @@ CaseSpec derive_case(std::uint64_t case_seed,
   spec.seed = case_seed;
   // uts is weighted 2x: it exercises the most seams (steal + net + engine).
   static const char* const kWorkloads[] = {"uts", "uts", "ft", "barrier",
-                                           "gather"};
-  spec.workload = kWorkloads[sm.next() % 5];
+                                           "gather", "async"};
+  spec.workload = kWorkloads[sm.next() % 6];
   spec.backend = sm.next() % 2 == 0 ? "processes" : "pthreads";
   static const char* const kConduits[] = {"ib-qdr", "ib-ddr", "gige"};
   spec.conduit = kConduits[sm.next() % 3];
@@ -293,6 +399,7 @@ CaseResult run_case(const CaseSpec& spec, const PlanParams& plan) {
   if (spec.workload == "ft") return run_ft(spec, plan);
   if (spec.workload == "barrier") return run_barrier(spec, plan);
   if (spec.workload == "gather") return run_gather(spec, plan);
+  if (spec.workload == "async") return run_async(spec, plan);
   return run_uts(spec, plan);
 }
 
@@ -318,6 +425,7 @@ PlanParams Fuzzer::shrink(const CaseSpec& spec, PlanParams failing) {
       [](PlanParams& p) { p.spawn_width_cap = 0; },
       [](PlanParams& p) { p.alloc_fail_after_bytes = 0; },
       [](PlanParams& p) { p.cache_invalidate_p = 0.0; },
+      [](PlanParams& p) { p.completion_delay_p = 0.0; },
   };
   for (const Reduce& off : group_off) {
     PlanParams candidate = failing;
@@ -336,6 +444,10 @@ PlanParams Fuzzer::shrink(const CaseSpec& spec, PlanParams failing) {
       [](PlanParams& p) { p.blackout_duration_s /= 2; },
       [](PlanParams& p) { p.steal_fail_p /= 2; },
       [](PlanParams& p) { p.cache_invalidate_p /= 2; },
+      [](PlanParams& p) {
+        p.completion_delay_p /= 2;
+        p.completion_delay_max_s /= 2;
+      },
   };
   for (int round = 0; round < 3; ++round) {
     bool reduced = false;

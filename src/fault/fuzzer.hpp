@@ -13,7 +13,10 @@
 //             oracle (steal + byte conservation, trace cross-checks);
 //   ft      — NAS FT class S, 2 iterations (byte conservation, per-rank
 //             phase-timing coherence);
-//   barrier — a barrier storm with skewed arrivals (linearizability).
+//   barrier — a barrier storm with skewed arrivals (linearizability);
+//   gather  — read-cached gather vs. an uncached oracle (transparency);
+//   async   — overlapped copy_async + RPC ring (completion ordering,
+//             read-your-writes after future resolution).
 #pragma once
 
 #include <cstdint>
@@ -33,9 +36,10 @@ struct FuzzOptions {
   /// Plan templates the sweep draws from. Excludes "heap-pressure" by
   /// default: injected allocation failures are *supposed* to throw, which
   /// is a different property than the conservation invariants checked here.
-  std::vector<std::string> templates = {"jitter",   "latency-spike",
-                                        "bw-dip",   "blackout",
-                                        "steal-storm", "mixed"};
+  std::vector<std::string> templates = {"jitter",      "latency-spike",
+                                        "bw-dip",      "blackout",
+                                        "steal-storm", "completion-storm",
+                                        "mixed"};
   /// Plant the test-only steal-split off-by-one (UTS cases only): the sweep
   /// must then find a conservation violation — how the fuzzer's own
   /// detection power is regression-tested.
@@ -47,7 +51,7 @@ struct FuzzOptions {
 /// template, plan magnitudes, tree shape — is a pure function of `seed`.
 struct CaseSpec {
   std::uint64_t seed = 0;
-  std::string workload;  // "uts" | "ft" | "barrier" | "gather"
+  std::string workload;  // "uts" | "ft" | "barrier" | "gather" | "async"
   std::string backend;   // "processes" | "pthreads"
   std::string conduit;   // "ib-qdr" | "ib-ddr" | "gige"
   std::string plan;      // template name

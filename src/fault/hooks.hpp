@@ -70,6 +70,19 @@ struct CacheHook {
   [[nodiscard]] virtual bool drop_cached_line(int rank) noexcept = 0;
 };
 
+/// Asynchronous-completion delay (completion storms): the returned value
+/// (nanoseconds, >= 0) is extra virtual time injected between an async
+/// operation finishing its work and its completion firing on `rank` — a
+/// copy_async future resolving, or an RPC reply being delivered. Data
+/// movement and invalidation have already happened when the seam is
+/// consulted, so a hook can reorder COMPLETIONS against unrelated work
+/// but never values: exactly the window the check_async_ordering
+/// invariant patrols.
+struct CompletionHook {
+  virtual ~CompletionHook() = default;
+  [[nodiscard]] virtual std::int64_t delay_completion(int rank) noexcept = 0;
+};
+
 /// The full hook set a plan installs on a gas::Runtime. All pointers are
 /// non-owning and may be null (that seam stays untouched).
 struct Hooks {
@@ -79,6 +92,7 @@ struct Hooks {
   AllocHook* alloc = nullptr;
   SpawnHook* spawn = nullptr;
   CacheHook* cache = nullptr;
+  CompletionHook* completion = nullptr;
 };
 
 }  // namespace hupc::fault

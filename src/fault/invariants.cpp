@@ -102,6 +102,43 @@ void check_cache_transparency(std::uint64_t cached_result,
   }
 }
 
+void check_async_ordering(const std::vector<AsyncOpRecord>& ops,
+                          const trace::Tracer* tracer, Violations& out) {
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const AsyncOpRecord& op = ops[i];
+    if (op.completions != 1) {
+      out.push_back("async ordering: op " + std::to_string(i) +
+                    " completed " + std::to_string(op.completions) +
+                    " time(s), expected exactly once");
+      continue;
+    }
+    if (op.completed_at < op.issued_at) {
+      out.push_back("async ordering: op " + std::to_string(i) +
+                    " resolved at t=" + std::to_string(op.completed_at) +
+                    " before its issue at t=" + std::to_string(op.issued_at));
+    }
+  }
+  if (tracer == nullptr) return;
+  const std::uint64_t issued = tracer->counter_total("async.copy.issued");
+  const std::uint64_t copies = tracer->counter_total("async.copy.completed");
+  const std::uint64_t failed = tracer->counter_total("async.copy.failed");
+  if (issued != copies + failed) {
+    out.push_back("async conservation: async.copy.issued " +
+                  std::to_string(issued) + " != completed " +
+                  std::to_string(copies) + " + failed " +
+                  std::to_string(failed));
+  }
+  const std::uint64_t sent = tracer->counter_total("async.rpc.sent");
+  const std::uint64_t executed = tracer->counter_total("async.rpc.executed");
+  const std::uint64_t completed = tracer->counter_total("async.rpc.completed");
+  if (sent != executed || sent != completed) {
+    out.push_back("async conservation: async.rpc sent " +
+                  std::to_string(sent) + " / executed " +
+                  std::to_string(executed) + " / completed " +
+                  std::to_string(completed) + " diverge");
+  }
+}
+
 void check_barrier(gas::Runtime& rt, std::uint64_t expected_phases,
                    const trace::Tracer* tracer, Violations& out) {
   const std::uint64_t phase = rt.global_barrier().phase();

@@ -66,6 +66,24 @@ void check_cache_transparency(std::uint64_t cached_result,
                               const comm::CacheStats* stats,
                               const trace::Tracer* tracer, Violations& out);
 
+/// One tracked asynchronous operation (copy_async / RPC) from an async
+/// workload run: when it was issued, when its future resolved, and how many
+/// times the completion continuation fired.
+struct AsyncOpRecord {
+  std::int64_t issued_at = 0;      // engine time at issue
+  std::int64_t completed_at = -1;  // engine time at resolution; -1 = never
+  int completions = 0;             // continuation firings (must be exactly 1)
+};
+
+/// Async completion ordering: every tracked op's future resolved exactly
+/// once and never before the op was issued — a fault plan may HOLD a
+/// completion (delay when it is observed), never lose, duplicate, or
+/// time-travel one. With a tracer attached the async.* counters must also
+/// conserve: async.copy.issued == async.copy.completed + async.copy.failed
+/// and async.rpc.sent == async.rpc.executed == async.rpc.completed.
+void check_async_ordering(const std::vector<AsyncOpRecord>& ops,
+                          const trace::Tracer* tracer, Violations& out);
+
 /// Work conservation for a finished WorkStealing run: processed ==
 /// `expected_total`, outstanding == 0, every stack fully drained; when a
 /// tracer is attached, sched.processed and steal counters must agree with

@@ -17,6 +17,7 @@ constexpr std::uint64_t kMsgSalt = 0x4E57F417ULL;
 constexpr std::uint64_t kStealSalt = 0x57EA1BADULL;
 constexpr std::uint64_t kAllocSalt = 0xA110CBADULL;
 constexpr std::uint64_t kCacheSalt = 0xCAC4ED05ULL;
+constexpr std::uint64_t kCompletionSalt = 0xC0D97E7EULL;
 
 std::uint64_t salted(std::uint64_t seed, std::uint64_t salt) {
   util::SplitMix64 sm(seed ^ salt);
@@ -36,7 +37,7 @@ bool PlanParams::quiescent() const noexcept {
   return event_jitter_p <= 0.0 && msg_delay_p <= 0.0 &&
          msg_bw_degrade_p <= 0.0 && blackout_node < 0 && steal_fail_p <= 0.0 &&
          spawn_width_cap <= 0 && alloc_fail_after_bytes == 0 &&
-         cache_invalidate_p <= 0.0;
+         cache_invalidate_p <= 0.0 && completion_delay_p <= 0.0;
 }
 
 std::string PlanParams::describe() const {
@@ -67,6 +68,10 @@ std::string PlanParams::describe() const {
   if (cache_invalidate_p > 0.0) {
     append(out, " cache-storm=%.2f", cache_invalidate_p);
   }
+  if (completion_delay_p > 0.0) {
+    append(out, " completion-storm=%.2f/%.0fus", completion_delay_p,
+           completion_delay_max_s * 1e6);
+  }
   return out + "]";
 }
 
@@ -76,7 +81,8 @@ FaultPlan::FaultPlan(PlanParams params)
       msg_rng_(salted(params_.seed, kMsgSalt)),
       steal_rng_(salted(params_.seed, kStealSalt)),
       alloc_rng_(salted(params_.seed, kAllocSalt)),
-      cache_rng_(salted(params_.seed, kCacheSalt)) {}
+      cache_rng_(salted(params_.seed, kCacheSalt)),
+      completion_rng_(salted(params_.seed, kCompletionSalt)) {}
 
 void FaultPlan::install(gas::Runtime& rt) {
   engine_ = &rt.engine();
@@ -90,6 +96,7 @@ void FaultPlan::install(gas::Runtime& rt) {
   if (params_.alloc_fail_after_bytes > 0) hooks.alloc = this;
   if (params_.spawn_width_cap > 0) hooks.spawn = this;
   if (params_.cache_invalidate_p > 0.0) hooks.cache = this;
+  if (params_.completion_delay_p > 0.0) hooks.completion = this;
   rt.install_faults(hooks);
 }
 
@@ -159,11 +166,19 @@ bool FaultPlan::drop_cached_line(int /*rank*/) noexcept {
   return true;
 }
 
+std::int64_t FaultPlan::delay_completion(int /*rank*/) noexcept {
+  if (completion_rng_.uniform() >= params_.completion_delay_p) return 0;
+  ++stats_.completions_delayed;
+  return sim::from_seconds(completion_rng_.uniform() *
+                           params_.completion_delay_max_s);
+}
+
 const std::vector<std::string>& plan_template_names() {
   static const std::vector<std::string> names = {
       "none",        "jitter",         "latency-spike",
       "bw-dip",      "blackout",       "steal-storm",
-      "spawn-throttle", "heap-pressure", "cache-storm", "mixed"};
+      "spawn-throttle", "heap-pressure", "cache-storm",
+      "completion-storm", "mixed"};
   return names;
 }
 
@@ -220,6 +235,11 @@ PlanParams plan_template(const std::string& name, std::uint64_t seed) {
     p.cache_invalidate_p = in(0.20, 0.90);
     return p;
   }
+  if (name == "completion-storm") {
+    p.completion_delay_p = in(0.20, 0.60);
+    p.completion_delay_max_s = in(5e-6, 80e-6);
+    return p;
+  }
   if (name == "mixed") {
     p.event_jitter_p = in(0.05, 0.20);
     p.event_jitter_max_s = in(1e-6, 5e-6);
@@ -233,7 +253,7 @@ PlanParams plan_template(const std::string& name, std::uint64_t seed) {
   throw std::invalid_argument(
       "fault::plan_template: unknown template \"" + name +
       "\" (known: none jitter latency-spike bw-dip blackout steal-storm "
-      "spawn-throttle heap-pressure cache-storm mixed)");
+      "spawn-throttle heap-pressure cache-storm completion-storm mixed)");
 }
 
 }  // namespace hupc::fault

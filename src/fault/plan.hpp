@@ -68,6 +68,14 @@ struct PlanParams {
   // tags, not data, so modeled results cannot change. 0 = off.
   double cache_invalidate_p = 0.0;
 
+  // Completion storm: with probability `p`, hold an asynchronous
+  // completion (copy_async future resolution, RPC reply) for uniform(0,
+  // max] after its work finished. Reorders when completions are OBSERVED
+  // against unrelated progress — never data movement, which has already
+  // happened when the seam fires (check_async_ordering's contract).
+  double completion_delay_p = 0.0;
+  double completion_delay_max_s = 0.0;
+
   /// True when no perturbation group is enabled.
   [[nodiscard]] bool quiescent() const noexcept;
   /// One-line human-readable summary of the active groups.
@@ -84,11 +92,12 @@ struct InjectionStats {
   std::uint64_t allocs_failed = 0;
   std::uint64_t spawns_throttled = 0;
   std::uint64_t cache_lines_dropped = 0;
+  std::uint64_t completions_delayed = 0;
 
   [[nodiscard]] std::uint64_t total() const noexcept {
     return events_jittered + messages_delayed + messages_degraded +
            messages_held_blackout + steals_failed + allocs_failed +
-           spawns_throttled + cache_lines_dropped;
+           spawns_throttled + cache_lines_dropped + completions_delayed;
   }
 };
 
@@ -99,7 +108,8 @@ class FaultPlan final : public ScheduleHook,
                         public StealHook,
                         public AllocHook,
                         public SpawnHook,
-                        public CacheHook {
+                        public CacheHook,
+                        public CompletionHook {
  public:
   explicit FaultPlan(PlanParams params);
 
@@ -123,6 +133,7 @@ class FaultPlan final : public ScheduleHook,
                                 std::size_t allocated) noexcept override;
   [[nodiscard]] int clamp_spawn_width(int requested) noexcept override;
   [[nodiscard]] bool drop_cached_line(int rank) noexcept override;
+  [[nodiscard]] std::int64_t delay_completion(int rank) noexcept override;
 
  private:
   PlanParams params_;
@@ -133,11 +144,12 @@ class FaultPlan final : public ScheduleHook,
   util::Xoshiro256ss steal_rng_;
   util::Xoshiro256ss alloc_rng_;
   util::Xoshiro256ss cache_rng_;
+  util::Xoshiro256ss completion_rng_;
 };
 
 /// Registered plan-template names ("none", "jitter", "latency-spike",
 /// "bw-dip", "blackout", "steal-storm", "spawn-throttle", "heap-pressure",
-/// "cache-storm", "mixed").
+/// "cache-storm", "completion-storm", "mixed").
 [[nodiscard]] const std::vector<std::string>& plan_template_names();
 
 /// Instantiate a template: magnitudes are drawn deterministically from

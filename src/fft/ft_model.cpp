@@ -88,15 +88,28 @@ sim::Task<void> FtModel::exchange_split(gas::Thread& self) {
     co_return;
   }
   // Berkeley-style split phase: issue every peer chunk non-blocking, then
-  // wait for all transfers, then a barrier to close the epoch.
-  std::vector<sim::Future<>> pending;
-  pending.reserve(static_cast<std::size_t>(T - 1));
-  for (int step = 1; step < T; ++step) {
-    const int peer = (me + step) % T;
-    pending.push_back(self.start_async(self.copy_raw(
-        peer, nullptr, nullptr, static_cast<std::size_t>(chunk_bytes_))));
+  // wait for all transfers, then a barrier to close the epoch. The async
+  // path pipelines through the completion layer (when_all over promise-
+  // backed futures); the legacy path drains per-handle sim::Futures.
+  if (cfg_.async) {
+    std::vector<async::future<>> pending;
+    pending.reserve(static_cast<std::size_t>(T - 1));
+    for (int step = 1; step < T; ++step) {
+      const int peer = (me + step) % T;
+      pending.push_back(self.launch_async(self.copy_raw(
+          peer, nullptr, nullptr, static_cast<std::size_t>(chunk_bytes_))));
+    }
+    co_await async::when_all(std::move(pending)).wait();
+  } else {
+    std::vector<sim::Future<>> pending;
+    pending.reserve(static_cast<std::size_t>(T - 1));
+    for (int step = 1; step < T; ++step) {
+      const int peer = (me + step) % T;
+      pending.push_back(self.start_async(self.copy_raw(
+          peer, nullptr, nullptr, static_cast<std::size_t>(chunk_bytes_))));
+    }
+    for (auto& f : pending) co_await f.wait();
   }
-  for (auto& f : pending) co_await f.wait();
   co_await self.barrier();
 }
 
@@ -109,15 +122,22 @@ sim::Task<void> FtModel::exchange_overlap(gas::Thread& self,
   const int T = self.threads();
   const int me = self.rank();
   const double piece = chunk_bytes_ / planes_per_rank_;
+  const auto expected = static_cast<std::size_t>(planes) *
+                        static_cast<std::size_t>(T - 1);
   std::vector<sim::Future<>> pending;
-  pending.reserve(static_cast<std::size_t>(planes) *
-                  static_cast<std::size_t>(T - 1));
+  std::vector<async::future<>> pending_async;
+  (cfg_.async ? pending_async.reserve(expected) : pending.reserve(expected));
 
   auto send_plane = [&](gas::Thread& t) {
     for (int step = 1; step < T; ++step) {
       const int peer = (me + step) % T;
-      pending.push_back(t.start_async(t.copy_raw(
-          peer, nullptr, nullptr, static_cast<std::size_t>(piece))));
+      auto op = t.copy_raw(peer, nullptr, nullptr,
+                           static_cast<std::size_t>(piece));
+      if (cfg_.async) {
+        pending_async.push_back(t.launch_async(std::move(op)));
+      } else {
+        pending.push_back(t.start_async(std::move(op)));
+      }
     }
   };
 
@@ -145,7 +165,11 @@ sim::Task<void> FtModel::exchange_overlap(gas::Thread& self,
       for (int p = 0; p < batch; ++p) send_plane(self);
     }
   }
-  for (auto& f : pending) co_await f.wait();
+  if (cfg_.async) {
+    co_await async::when_all(std::move(pending_async)).wait();
+  } else {
+    for (auto& f : pending) co_await f.wait();
+  }
   co_await self.barrier();
 }
 

@@ -61,7 +61,7 @@ sim::Task<void> FtReal::run(gas::Thread& self) {
 
   // Phase A: 2-D FFT over (x, y) on each local plane, charging the kernel's
   // analytic cost; overlap variant sends each plane as soon as it is done.
-  std::vector<sim::Future<>> pending;
+  std::vector<async::future<>> pending;
   auto send_plane = [&](std::size_t zl) {
     // The piece for peer p is x-rows [p*px, (p+1)*px) of plane zl, laid out
     // contiguously (x-major), destined for out_[p] at [x_local][z][y].

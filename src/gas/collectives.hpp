@@ -92,7 +92,7 @@ class Collectives {
     const int n = size();
     const int me = require_member(self);
     if (overlap) {
-      std::vector<sim::Future<>> pending;
+      std::vector<async::future<>> pending;
       pending.reserve(static_cast<std::size_t>(n));
       for (int step = 0; step < n; ++step) {
         const int peer = (me + step + 1) % n;

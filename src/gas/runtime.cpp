@@ -354,6 +354,34 @@ sim::Future<> Thread::start_async(sim::Task<void> op) {
   return sim::start(rt_->engine(), std::move(op));
 }
 
+async::future<> Thread::launch_async(sim::Task<void> op) {
+  HUPC_TRACE_COUNT(rt_->tracer(), "async.copy.issued", rank_);
+  async::promise<> done(rt_->engine());
+  async::future<> fut = done.get_future();
+  sim::spawn(rt_->engine(), complete_async(std::move(op), std::move(done)));
+  return fut;
+}
+
+sim::Task<void> Thread::complete_async(sim::Task<void> op,
+                                       async::promise<> done) {
+  try {
+    co_await std::move(op);
+  } catch (...) {
+    HUPC_TRACE_COUNT(rt_->tracer(), "async.copy.failed", rank_);
+    done.set_exception(std::current_exception());
+    co_return;
+  }
+  // The operation's work (data movement, invalidation, cost charges) is
+  // fully done; only the COMPLETION may now be held back, so a fault plan
+  // reorders when waiters observe it, never what they observe.
+  if (fault::CompletionHook* hook = rt_->fault_hooks().completion) {
+    const std::int64_t extra = hook->delay_completion(rank_);
+    if (extra > 0) co_await sim::delay(rt_->engine(), extra);
+  }
+  HUPC_TRACE_COUNT(rt_->tracer(), "async.copy.completed", rank_);
+  done.set_value();
+}
+
 sim::Task<void> Thread::element_access(int owner, std::size_t bytes) {
   HUPC_TRACE_INSTANT(rt_->tracer(), trace::Category::gas, "element", rank_,
                      bytes, static_cast<std::uint64_t>(owner));

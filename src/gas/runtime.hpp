@@ -40,6 +40,7 @@
 #include <memory>
 #include <vector>
 
+#include "async/future.hpp"
 #include "comm/coalescer.hpp"
 #include "comm/read_cache.hpp"
 #include "fault/hooks.hpp"
@@ -289,27 +290,41 @@ class Thread {
     co_await copy(dst, to_const(src), count);
   }
 
-  // Non-blocking forms returning futures (upc_mem*_async / waitsync).
+  // Non-blocking forms returning chainable futures (upc_mem*_async /
+  // waitsync; `co_await fut.wait()`, `fut.then(...)`, async::when_all).
+  // Completion is promise-based: the future resolves when the transfer's
+  // modeled work is done, after any installed completion-fault delay
+  // (fault::CompletionHook) — so fault plans can storm completions without
+  // ever reordering data movement against it.
+  //
+  // Issue-time coherence (the ordering hazard DESIGN.md §13 documents):
+  // a shared DESTINATION is this rank's own put in program order from the
+  // moment of issue, so inside a read-cache epoch the covered lines drop
+  // HERE, synchronously — not when the spawned copy coroutine happens to
+  // run. A cached get between issue and completion therefore re-fetches
+  // instead of being served across an in-flight async put.
   template <class T>
-  [[nodiscard]] sim::Future<> copy_async(GlobalPtr<T> dst, const T* src,
-                                         std::size_t count) {
-    return start_async(copy(dst, src, count));
+  [[nodiscard]] async::future<> copy_async(GlobalPtr<T> dst, const T* src,
+                                           std::size_t count) {
+    if (caching_) note_shared_store(dst.owner, dst.raw, count * sizeof(T));
+    return launch_async(copy(dst, src, count));
   }
   template <class T>
-  [[nodiscard]] sim::Future<> copy_async(T* dst, GlobalPtr<const T> src,
-                                         std::size_t count) {
-    return start_async(copy(dst, src, count));
+  [[nodiscard]] async::future<> copy_async(T* dst, GlobalPtr<const T> src,
+                                           std::size_t count) {
+    return launch_async(copy(dst, src, count));
   }
   template <class T>
-  [[nodiscard]] sim::Future<> copy_async(T* dst, GlobalPtr<T> src,
-                                         std::size_t count) {
-    return start_async(copy(dst, src, count));
+  [[nodiscard]] async::future<> copy_async(T* dst, GlobalPtr<T> src,
+                                           std::size_t count) {
+    return launch_async(copy(dst, src, count));
   }
   template <class T>
-  [[nodiscard]] sim::Future<> copy_async(GlobalPtr<T> dst,
-                                         GlobalPtr<const T> src,
-                                         std::size_t count) {
-    return start_async(copy(dst, src, count));
+  [[nodiscard]] async::future<> copy_async(GlobalPtr<T> dst,
+                                           GlobalPtr<const T> src,
+                                           std::size_t count) {
+    if (caching_) note_shared_store(dst.owner, dst.raw, count * sizeof(T));
+    return launch_async(copy(dst, src, count));
   }
 
   // --- legacy bulk-copy names (thin wrappers over copy/copy_async) ------
@@ -335,13 +350,13 @@ class Thread {
     return copy(dst, src, count);
   }
   template <class T>
-  [[nodiscard]] sim::Future<> memput_async(GlobalPtr<T> dst, const T* src,
-                                           std::size_t count) {
+  [[nodiscard]] async::future<> memput_async(GlobalPtr<T> dst, const T* src,
+                                             std::size_t count) {
     return copy_async(dst, src, count);
   }
   template <class T>
-  [[nodiscard]] sim::Future<> memget_async(T* dst, GlobalPtr<const T> src,
-                                           std::size_t count) {
+  [[nodiscard]] async::future<> memget_async(T* dst, GlobalPtr<const T> src,
+                                             std::size_t count) {
     return copy_async(dst, src, count);
   }
 
@@ -377,8 +392,16 @@ class Thread {
                                               void* dst, const void* src,
                                               std::size_t bytes);
   [[nodiscard]] sim::Future<> start_async(sim::Task<void> op);
+  /// Run `op` as an engine process behind a chainable future: resolves
+  /// (or carries op's exception) at completion, after any installed
+  /// fault::CompletionHook delay. Counters: async.copy.issued at launch,
+  /// async.copy.completed at resolution.
+  [[nodiscard]] async::future<> launch_async(sim::Task<void> op);
 
  private:
+  /// launch_async's driver coroutine (spawned as a root process).
+  [[nodiscard]] sim::Task<void> complete_async(sim::Task<void> op,
+                                               async::promise<> done);
   [[nodiscard]] sim::Task<void> element_access(int owner, std::size_t bytes);
   /// Read-class fine-grained access (get / metadata probe): serves from
   /// the read cache inside a cached epoch (consulting the coalescer's

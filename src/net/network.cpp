@@ -107,25 +107,34 @@ sim::Task<void> Network::rma(Transfer t) {
   // time (each at most conn_bw), so a lone rank per node tops out at the
   // single-flow ceiling while additional ranks add concurrent flows until
   // the NIC saturates.
-  auto& endpoint = *endpoints_[static_cast<std::size_t>(
-      t.src_node * endpoints_per_node_ + t.src_ep % endpoints_per_node_)];
-  co_await endpoint.lock();
-  sim::ScopedLock pipeline(endpoint);
-  sim::Future<> src_leg, dst_leg;
   {
-    auto& conn = connection(t.src_node, t.src_ep);
-    co_await conn.lock();
-    sim::ScopedLock guard(conn);
-    co_await sim::delay(*engine_, sim::from_seconds(conduit_.send_overhead_s));
-    src_leg = nic(t.src_node).transfer_async(t.bytes, wire_cap);
-    dst_leg = nic(t.dst_node).transfer_async(t.bytes, wire_cap);
-    co_await sim::delay(*engine_,
-                        sim::from_seconds(t.bytes / conduit_.stage_bw));
+    auto& endpoint = *endpoints_[static_cast<std::size_t>(
+        t.src_node * endpoints_per_node_ + t.src_ep % endpoints_per_node_)];
+    co_await endpoint.lock();
+    sim::ScopedLock pipeline(endpoint);
+    sim::Future<> src_leg, dst_leg;
+    {
+      auto& conn = connection(t.src_node, t.src_ep);
+      co_await conn.lock();
+      sim::ScopedLock guard(conn);
+      co_await sim::delay(*engine_,
+                          sim::from_seconds(conduit_.send_overhead_s));
+      src_leg = nic(t.src_node).transfer_async(t.bytes, wire_cap);
+      dst_leg = nic(t.dst_node).transfer_async(t.bytes, wire_cap);
+      co_await sim::delay(*engine_,
+                          sim::from_seconds(t.bytes / conduit_.stage_bw));
+    }
+    co_await src_leg.wait();
+    co_await dst_leg.wait();
   }
-  co_await src_leg.wait();
-  co_await dst_leg.wait();
 
   // Delivery: propagation latency plus receive-side software overhead.
+  // The endpoint is released first — propagation occupies the wire, not
+  // the sender, so an endpoint's next message can begin injecting while
+  // this one is in flight (LogGP: back-to-back sends pay the gap, and only
+  // the last one's latency is exposed). Blocking callers still observe the
+  // full delivery because they await this coroutine to completion; it is
+  // the split-phase/async callers that get the pipelining.
   co_await sim::delay(
       *engine_,
       sim::from_seconds(conduit_.latency_s + conduit_.recv_overhead_s));

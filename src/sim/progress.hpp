@@ -1,0 +1,57 @@
+// Serial progress contexts ("personas") for the discrete-event engine.
+//
+// A ProgressQueue is the progress hook the asynchronous completion layer
+// (src/async) drives its per-rank RPC execution through: thunks posted
+// from anywhere in the simulation run as same-instant engine events in
+// strict FIFO *post* order. FIFO holds even under fault-injection schedule
+// jitter — a perturbed drain tick may run late, but every tick pops the
+// queue's front, so post order is execution order by construction (the
+// engine event only decides WHEN the next front runs, never WHICH).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <utility>
+
+#include "sim/engine.hpp"
+
+namespace hupc::sim {
+
+class ProgressQueue {
+ public:
+  explicit ProgressQueue(Engine& engine) : engine_(&engine) {}
+
+  ProgressQueue(const ProgressQueue&) = delete;
+  ProgressQueue& operator=(const ProgressQueue&) = delete;
+
+  /// Enqueue `fn` for serial execution on this context. Never runs inline:
+  /// the caller's stack unwinds first (flat stacks, deterministic order).
+  void post(std::function<void()> fn) {
+    queue_.push_back(std::move(fn));
+    ++posted_;
+    engine_->schedule_in(0, [this] { drain_one(); });
+  }
+
+  [[nodiscard]] std::uint64_t posted() const noexcept { return posted_; }
+  [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+  /// Thunks posted but not yet run (inbox depth).
+  [[nodiscard]] std::size_t depth() const noexcept { return queue_.size(); }
+
+ private:
+  void drain_one() {
+    assert(!queue_.empty() && "ProgressQueue: tick without a queued thunk");
+    std::function<void()> fn = std::move(queue_.front());
+    queue_.pop_front();
+    ++executed_;
+    fn();
+  }
+
+  Engine* engine_;
+  std::deque<std::function<void()>> queue_;
+  std::uint64_t posted_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace hupc::sim

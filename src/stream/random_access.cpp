@@ -144,7 +144,7 @@ GupsResult RandomAccess::run(GupsVariant variant,
         co_await t.stream_local(static_cast<double>(applied_locally) * 16.0);
 
         // Ship each bucket into the owner's inbox slice for this sender.
-        std::vector<sim::Future<>> pending;
+        std::vector<async::future<>> pending;
         for (int owner = 0; owner < t.threads(); ++owner) {
           const auto& b = buckets[static_cast<std::size_t>(owner)];
           if (b.empty()) continue;

@@ -192,6 +192,42 @@ TEST(ReadCache, ReadYourWritesThroughCoalescerComposition) {
   EXPECT_EQ(rt.thread(0).read_cache_stats()->misses, 2u);  // refetched
 }
 
+// Regression: copy_async's read-cache invalidation happens at ISSUE time,
+// not when the spawned copy coroutine eventually runs. A cached get between
+// issue and completion must re-fetch (miss) instead of being served a stale
+// hit across the in-flight put — and once the returned future resolves, a
+// get must observe the payload (read-your-writes).
+TEST(ReadCache, CopyAsyncInvalidatesAtIssueAndReadsYourWrites) {
+  sim::Engine e;
+  Runtime rt(e, cfg(2, 2));
+  auto cells = rt.heap().all_alloc<std::uint64_t>(2, 1);
+  *cells.at(0).raw = 0;
+  *cells.at(1).raw = 7;
+  std::uint64_t resolved_value = 0;
+  std::uint64_t in_flight_hits = 0;
+  rt.spmd([&](Thread& t) -> sim::Task<void> {
+    co_await t.barrier();
+    if (t.rank() == 0) {
+      gas::CachedEpoch epoch(t);
+      (void)co_await t.get(cells.at(1));  // miss: line cached (value 7)
+      const std::uint64_t payload = 42;
+      auto fut = t.copy_async(cells.at(1), &payload, 1);
+      // Issuing the async put must already have dropped the covered line.
+      EXPECT_GE(t.read_cache_stats()->invalidations, 1u);
+      const std::uint64_t hits_before = t.read_cache_stats()->hits;
+      (void)co_await t.get(cells.at(1));  // in flight: re-fetch, never a hit
+      in_flight_hits = t.read_cache_stats()->hits - hits_before;
+      co_await fut.wait();
+      resolved_value = co_await t.get(cells.at(1));
+      epoch.end();
+    }
+    co_await t.barrier();
+  });
+  rt.run_to_completion();
+  EXPECT_EQ(in_flight_hits, 0u);
+  EXPECT_EQ(resolved_value, 42u);
+}
+
 // AMOs and barriers are coherence points: both drop cached lines so the
 // next get refetches.
 TEST(ReadCache, AmoAndBarrierInvalidate) {

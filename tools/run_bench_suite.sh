@@ -56,6 +56,7 @@ sim_suites=(
   bench_ablation_coalesce
   bench_ablation_readcache
   bench_ablation_steal
+  bench_ablation_async
   bench_gups_groups
   bench_fig_3_3_uts_scaling
 )
