@@ -13,10 +13,19 @@
 // (split-phase producer-push, thesis §4.2's overlap idiom on the new
 // completion layer). It must match the same serial reference.
 //
+// A team-scoped reduction epilogue sums the rod's energy through the
+// algorithm-selecting collectives (gas::reduce_gather over a world team,
+// plus per-node/per-socket subteam sums under --team-split), verified
+// against a host-side fold.
+//
 //   ./heat_stencil [--threads N] [--nodes M] [--cells 4096] [--steps 200]
-//                  [--async=on|off]
+//                  [--async=on|off] [--coll-algo=auto|flat|hier|ring|dissem]
+//                  [--team-split=none|node|socket]
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <numeric>
 #include <string>
 #include <vector>
 
@@ -57,11 +66,28 @@ int main(int argc, char** argv) {
   const auto cells = static_cast<std::size_t>(cli.get_int("cells", 4096));
   const int steps = static_cast<int>(cli.get_int("steps", 200));
   const std::string async_opt = cli.get("async", "off");
+  const std::string coll_algo_opt = cli.get("coll-algo", "auto");
+  const std::string team_split = cli.get("team-split", "none");
   cli.reject_unread("heat_stencil");
   if (async_opt != "on" && async_opt != "off") {
     std::printf("unknown --async value '%s' (expected on|off)\n",
                 async_opt.c_str());
     return 1;
+  }
+  const auto coll_algo = gas::parse_coll_algo(coll_algo_opt);
+  if (!coll_algo) {
+    std::fprintf(stderr,
+                 "heat_stencil: error: unknown --coll-algo value '%s' "
+                 "(expected auto|flat|hier|ring|dissem)\n",
+                 coll_algo_opt.c_str());
+    return 2;
+  }
+  if (team_split != "none" && team_split != "node" && team_split != "socket") {
+    std::fprintf(stderr,
+                 "heat_stencil: error: unknown --team-split value '%s' "
+                 "(expected none|node|socket)\n",
+                 team_split.c_str());
+    return 2;
   }
   const bool run_async = async_opt == "on";
   const std::size_t per = cells / static_cast<std::size_t>(threads);
@@ -238,6 +264,86 @@ int main(int argc, char** argv) {
                 "async-halo", cells, steps, threads, max_err,
                 sim::to_seconds(engine.now()) * 1e3);
     if (max_err > 1e-12) return 1;
+  }
+
+  // --- Team-scoped energy reduction (teams + selecting collectives) -----
+  // The rod's total energy summed two ways: globally through the world
+  // team's collective tree (gas::reduce_gather — the algorithm follows
+  // --coll-algo through the selector), and per-subteam under --team-split
+  // (world + subteams overlap on every rank, exercising per-(team,op)
+  // collective matching). Both verified against host-side folds.
+  {
+    sim::Engine engine;
+    gas::Config config;
+    config.machine = topo::lehman(nodes);
+    config.threads = threads;
+    gas::Runtime rt(engine, config);
+    auto rod = rt.heap().all_alloc<double>(cells, per);
+
+    std::vector<int> everyone(static_cast<std::size_t>(threads));
+    std::iota(everyone.begin(), everyone.end(), 0);
+    core::Team world(rt, everyone);
+    gas::CollectiveSelector sel;
+    sel.override_algo = *coll_algo;
+    auto world_coll = world.make_collectives(sel);
+    std::vector<core::Team> subteams;
+    if (team_split == "node") subteams = world.split_by_node();
+    if (team_split == "socket") subteams = world.split_by_socket();
+    std::vector<std::unique_ptr<gas::Collectives>> sub_colls;
+    sub_colls.reserve(subteams.size());
+    for (const auto& st : subteams) {
+      sub_colls.push_back(
+          std::make_unique<gas::Collectives>(st.make_collectives(sel)));
+    }
+
+    std::vector<double> global_sum(static_cast<std::size_t>(threads), 0.0);
+    std::vector<double> team_sum(static_cast<std::size_t>(threads), 0.0);
+    const auto plus = [](double a, double b) { return a + b; };
+    rt.spmd([&](gas::Thread& t) -> sim::Task<void> {
+      const auto base = static_cast<std::size_t>(t.rank()) * per;
+      double* mine = rod.slice(t.rank());
+      for (std::size_t i = 0; i < per; ++i) {
+        mine[i] = base + i < cells / 2 ? 1.0 : 0.0;
+      }
+      co_await t.barrier();
+      global_sum[static_cast<std::size_t>(t.rank())] =
+          co_await gas::reduce_gather(t, world_coll, rod, 0.0, plus);
+      for (std::size_t k = 0; k < subteams.size(); ++k) {
+        if (!subteams[k].contains(t.rank())) continue;
+        double local = 0.0;
+        for (std::size_t i = 0; i < per; ++i) local += mine[i];
+        team_sum[static_cast<std::size_t>(t.rank())] =
+            co_await sub_colls[k]->allreduce_value(t, local, plus);
+      }
+      co_return;
+    });
+    rt.run_to_completion();
+
+    const double expected = static_cast<double>(cells / 2);
+    double max_err = 0.0;
+    for (int r = 0; r < threads; ++r) {
+      max_err = std::max(
+          max_err,
+          std::abs(global_sum[static_cast<std::size_t>(r)] - expected));
+    }
+    for (const auto& st : subteams) {
+      double host = 0.0;
+      for (int r : st.ranks()) {
+        for (std::size_t i = 0; i < per; ++i) {
+          host += static_cast<std::size_t>(r) * per + i < cells / 2 ? 1.0 : 0.0;
+        }
+      }
+      for (int r : st.ranks()) {
+        max_err = std::max(
+            max_err, std::abs(team_sum[static_cast<std::size_t>(r)] - host));
+      }
+    }
+    std::printf("%-12s %zu cells, %d threads: energy err %.2e "
+                "(coll-algo %s, team-split %s, %zu subteams)\n",
+                "team-reduce", cells, threads, max_err,
+                gas::coll_algo_name(*coll_algo), team_split.c_str(),
+                subteams.size());
+    if (max_err > 1e-9) return 1;
   }
   return 0;
 }

@@ -9,6 +9,10 @@
 //                [--async=on|off]      (ft: drain the all-to-all through the
 //                                       promise-based completion layer (on,
 //                                       default) or the legacy waitsync loop)
+//                [--coll-algo=auto|flat|hier|ring|dissem]
+//                                      (ft: all-to-all exchange algorithm —
+//                                       flat staggered or supernode-leader
+//                                       hierarchical; auto selects by size)
 //                [--variant ...]       (workload-specific, see below)
 //                [--trace=FILE]        (chrome://tracing JSON of the run)
 //                [--trace-summary=FILE] (per-category counts/time + counters)
@@ -30,6 +34,7 @@
 //          is the number of failing cases (0 = clean sweep).
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <initializer_list>
@@ -222,6 +227,22 @@ bool async_flag(const util::Cli& cli, bool fallback) {
   return v == "on";
 }
 
+/// `--coll-algo=auto|flat|hier|ring|dissem`: pin the collective algorithm
+/// (fft: the all-to-all exchange schedule). Exits 2 on anything unknown —
+/// a typo must not silently benchmark the wrong algorithm.
+gas::CollAlgo coll_algo_flag(const util::Cli& cli, const char* program) {
+  const std::string v = cli.get("coll-algo", "auto");
+  const auto algo = gas::parse_coll_algo(v);
+  if (!algo) {
+    std::fprintf(stderr,
+                 "%s: error: unknown --coll-algo value '%s' "
+                 "(expected auto|flat|hier|ring|dissem)\n",
+                 program, v.c_str());
+    std::exit(2);
+  }
+  return *algo;
+}
+
 int run_ft(const util::Cli& cli) {
   sim::Engine engine;
   auto tracer = make_tracer(cli);
@@ -241,6 +262,7 @@ int run_ft(const util::Cli& cli) {
                    : fft::CommVariant::split_phase;
   fc.subs = static_cast<int>(cli.get_int("subs", 0));
   fc.async = async_flag(cli, true);
+  fc.coll_algo = coll_algo_flag(cli, "hupc_bench");
   cli.reject_unread("hupc_bench");
   fft::FtModel ft(rt, fc);
   rt.spmd([&ft](gas::Thread& t) -> sim::Task<void> { co_await ft.run(t); });

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <map>
 #include <stdexcept>
+#include <utility>
 
 namespace hupc::core {
 
@@ -17,14 +19,17 @@ int ceil_log2(int n) {
 Team::Team(gas::Runtime& rt, std::vector<int> ranks)
     : rt_(&rt), ranks_(std::move(ranks)) {
   if (ranks_.empty()) throw std::invalid_argument("Team: empty rank set");
-  if (!std::is_sorted(ranks_.begin(), ranks_.end()) ||
-      std::adjacent_find(ranks_.begin(), ranks_.end()) != ranks_.end()) {
-    throw std::invalid_argument("Team: ranks must be sorted and unique");
-  }
   for (int r : ranks_) {
     if (r < 0 || r >= rt.threads()) {
       throw std::invalid_argument("Team: rank out of range");
     }
+  }
+  // Any order is allowed (split() emits key-ordered teams); only
+  // duplicates are rejected.
+  std::vector<int> sorted = ranks_;
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+    throw std::invalid_argument("Team: ranks must be unique");
   }
   barrier_ = std::make_unique<sim::Barrier>(rt.engine(), size());
   spans_nodes_ = false;
@@ -63,9 +68,85 @@ std::vector<Team> Team::all_node_teams(gas::Runtime& rt) {
 }
 
 int Team::team_rank(int global) const {
-  const auto it = std::lower_bound(ranks_.begin(), ranks_.end(), global);
-  if (it == ranks_.end() || *it != global) return -1;
+  // Linear scan: member order is arbitrary (key-ordered after split), and
+  // teams are hardware-domain sized.
+  const auto it = std::find(ranks_.begin(), ranks_.end(), global);
+  if (it == ranks_.end()) return -1;
   return static_cast<int>(it - ranks_.begin());
+}
+
+std::vector<Team> Team::split(const std::vector<int>& colors,
+                              const std::vector<int>& keys) const {
+  if (colors.size() != ranks_.size()) {
+    throw std::invalid_argument("Team::split: one color per member required");
+  }
+  if (!keys.empty() && keys.size() != ranks_.size()) {
+    throw std::invalid_argument(
+        "Team::split: keys must be empty or one per member");
+  }
+  // color -> [(key, parent team rank)], std::map for ascending color order.
+  std::map<int, std::vector<std::pair<int, int>>> buckets;
+  for (std::size_t i = 0; i < ranks_.size(); ++i) {
+    if (colors[i] < 0) continue;  // negative color: joins no subteam
+    buckets[colors[i]].emplace_back(keys.empty() ? 0 : keys[i],
+                                    static_cast<int>(i));
+  }
+  std::vector<Team> teams;
+  teams.reserve(buckets.size());
+  for (auto& [color, members] : buckets) {
+    (void)color;
+    std::sort(members.begin(), members.end());  // (key, parent team rank)
+    std::vector<int> sub;
+    sub.reserve(members.size());
+    for (const auto& [key, tr] : members) {
+      (void)key;
+      sub.push_back(ranks_[static_cast<std::size_t>(tr)]);
+    }
+    teams.emplace_back(Team(*rt_, std::move(sub)));
+  }
+  return teams;
+}
+
+std::vector<Team> Team::split_by_node() const {
+  std::vector<int> colors;
+  colors.reserve(ranks_.size());
+  for (int r : ranks_) colors.push_back(rt_->node_of(r));
+  return split(colors);
+}
+
+std::vector<Team> Team::split_by_socket() const {
+  // Color = dense index of the (node, socket) pair, ascending.
+  std::map<std::pair<int, int>, int> domain_color;
+  for (int r : ranks_) {
+    const auto loc = rt_->loc_of(r);
+    domain_color.emplace(std::make_pair(loc.node, loc.socket), 0);
+  }
+  int next = 0;
+  for (auto& [domain, color] : domain_color) {
+    (void)domain;
+    color = next++;
+  }
+  std::vector<int> colors;
+  colors.reserve(ranks_.size());
+  for (int r : ranks_) {
+    const auto loc = rt_->loc_of(r);
+    colors.push_back(domain_color.at({loc.node, loc.socket}));
+  }
+  return split(colors);
+}
+
+Team Team::leader_team() const {
+  std::map<int, int> first_on_node;  // node -> global rank of first member
+  for (int r : ranks_) {
+    first_on_node.emplace(rt_->node_of(r), r);
+  }
+  std::vector<int> leaders;
+  leaders.reserve(first_on_node.size());
+  for (const auto& [node, rank] : first_on_node) {
+    (void)node;
+    leaders.push_back(rank);
+  }
+  return Team(*rt_, std::move(leaders));
 }
 
 sim::Time Team::barrier_cost() const {

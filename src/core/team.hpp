@@ -22,7 +22,9 @@ namespace hupc::core {
 
 class Team {
  public:
-  /// `ranks` must be non-empty, sorted, unique.
+  /// `ranks` must be non-empty, unique and in range. Any ORDER is allowed —
+  /// member index is the position in `ranks` (split() emits key-ordered
+  /// teams, so sortedness is not a Team invariant).
   Team(gas::Runtime& rt, std::vector<int> ranks);
 
   // --- hardware-driven factories (the topology queries of §3.2.1) -------
@@ -30,6 +32,32 @@ class Team {
   [[nodiscard]] static Team socket_team(gas::Runtime& rt, int node, int socket);
   /// One team per node, index = node id.
   [[nodiscard]] static std::vector<Team> all_node_teams(gas::Runtime& rt);
+
+  // --- splitting (the MPI_Comm_split-shaped teams API of §3.2.1) --------
+
+  /// Partition this team by color: member i (team rank) joins the subteam
+  /// of every other member with `colors[i]`; a negative color joins no
+  /// team. Within a subteam, members are ordered by ascending
+  /// (`keys[i]`, parent team rank) — so subteam rank 0 is the smallest
+  /// key, NOT necessarily the smallest global rank. Returns the subteams
+  /// in ascending color order. `colors` (and `keys`, when non-empty) must
+  /// have exactly size() entries; omitted keys default to 0 (order by
+  /// parent team rank).
+  [[nodiscard]] std::vector<Team> split(const std::vector<int>& colors,
+                                        const std::vector<int>& keys = {}) const;
+
+  /// split() with color = the node hosting each member: one subteam per
+  /// node this team touches, in ascending node order.
+  [[nodiscard]] std::vector<Team> split_by_node() const;
+
+  /// split() with color = (node, socket) of each member, ascending.
+  [[nodiscard]] std::vector<Team> split_by_socket() const;
+
+  /// Cross-node leaders subteam: the first member (lowest team rank) on
+  /// each node this team touches, in ascending node order — the "one
+  /// representative per supernode" team the two-level collective
+  /// algorithms route through.
+  [[nodiscard]] Team leader_team() const;
 
   [[nodiscard]] int size() const noexcept {
     return static_cast<int>(ranks_.size());
@@ -48,9 +76,12 @@ class Team {
 
   /// Team-scoped collectives (the GASNet-teams facility of §3.2.1):
   /// broadcast/reduce/exchange restricted to this team's members, with
-  /// buffers indexed by team rank. Create once, share among members.
-  [[nodiscard]] gas::Collectives make_collectives() const {
-    return gas::Collectives(*rt_, ranks_);
+  /// buffers indexed by team rank. Create once, share among members. The
+  /// optional selector pins or tunes the per-operation algorithm choice
+  /// (gas/coll_algo.hpp).
+  [[nodiscard]] gas::Collectives make_collectives(
+      gas::CollectiveSelector selector = {}) const {
+    return gas::Collectives(*rt_, ranks_, selector);
   }
 
   /// Pre-cast pointer table (§3.3): raw base pointers of each member's

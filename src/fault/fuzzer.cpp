@@ -1,6 +1,7 @@
 #include "fault/fuzzer.hpp"
 
 #include <functional>
+#include <memory>
 #include <ostream>
 #include <sstream>
 #include <string>
@@ -8,6 +9,7 @@
 
 #include "async/rpc.hpp"
 #include "fft/ft_model.hpp"
+#include "gas/collectives.hpp"
 #include "gas/runtime.hpp"
 #include "net/conduit.hpp"
 #include "sched/work_stealing.hpp"
@@ -364,6 +366,309 @@ CaseResult run_async(const CaseSpec& spec, const PlanParams& plan_params) {
   return res;
 }
 
+// Team-collective workload: three seeded, mutually overlapping teams run a
+// seeded schedule of broadcast / reduce / allgather / all-to-all calls with
+// seeded algorithm choices (flat, hierarchical, ring, dissemination, or
+// selector-driven). Every member folds the values each collective delivers
+// to it into a running checksum; a closing allgather turns the per-member
+// checksums into a team digest that every member must agree on, and the
+// digests are compared against a host-side oracle — faults and algorithm
+// choice may reshape the schedule, never the delivered bytes.
+CaseResult run_teams(const CaseSpec& spec, const PlanParams& plan_params) {
+  CaseResult res;
+  trace::Tracer tracer(std::size_t{1} << 18);
+  sim::Engine engine;
+  gas::Runtime rt(engine, base_config(spec, &tracer));
+  FaultPlan plan(plan_params);
+  plan.install(rt);
+
+  util::SplitMix64 sm(spec.seed ^ 0x7EA35EEDULL);
+
+  // Shapes over the 8 fuzz ranks: the whole runtime, a contiguous window,
+  // and a stride-2 comb. Every shape overlaps the others, so the per-(team,
+  // op) matching keys are genuinely exercised by the interleaving.
+  std::vector<std::vector<int>> shapes;
+  shapes.push_back({0, 1, 2, 3, 4, 5, 6, 7});
+  const int w = 3 + static_cast<int>(sm.next() % 4);
+  const int at = static_cast<int>(
+      sm.next() % static_cast<std::uint64_t>(kFuzzThreads - w + 1));
+  std::vector<int> window;
+  for (int i = 0; i < w; ++i) window.push_back(at + i);
+  shapes.push_back(window);
+  std::vector<int> comb;
+  for (int r = static_cast<int>(sm.next() % 2); r < kFuzzThreads; r += 2) {
+    comb.push_back(r);
+  }
+  shapes.push_back(comb);
+
+  const int T = static_cast<int>(shapes.size());
+  std::vector<std::unique_ptr<gas::Collectives>> colls;
+  for (const auto& members : shapes) {
+    colls.push_back(std::make_unique<gas::Collectives>(rt, members));
+  }
+
+  constexpr std::uint64_t kBasis = 1469598103934665603ULL;  // FNV-1a
+  const auto fold = [](std::uint64_t h, std::int64_t v) {
+    return (h ^ static_cast<std::uint64_t>(v)) * 1099511628211ULL;
+  };
+  const auto pat = [](int call, int member, std::size_t i) {
+    return static_cast<std::int64_t>(call + 1) * 1000003 +
+           static_cast<std::int64_t>(member + 1) * 7919 +
+           static_cast<std::int64_t>(i) * 13;
+  };
+
+  struct Call {
+    int team = 0;
+    gas::CollOp op = gas::CollOp::broadcast;
+    gas::CollAlgo algo = gas::CollAlgo::automatic;
+    std::size_t count = 0;
+    int root = 0;
+    std::vector<gas::GlobalPtr<std::int64_t>> bufs;
+    std::vector<std::vector<std::int64_t>> send;  // all-to-all, per member
+  };
+
+  // Derive the schedule and the host-side oracle together: `want[t][m]` is
+  // the checksum member m of team t must hold after a faithful run.
+  static const gas::CollOp kOps[] = {
+      gas::CollOp::broadcast, gas::CollOp::reduce, gas::CollOp::allgather,
+      gas::CollOp::alltoall};
+  const int rounds = 2 + static_cast<int>(sm.next() % 2);
+  std::vector<Call> schedule;
+  std::vector<std::vector<std::uint64_t>> want(static_cast<std::size_t>(T));
+  for (int t = 0; t < T; ++t) {
+    want[static_cast<std::size_t>(t)]
+        .assign(shapes[static_cast<std::size_t>(t)].size(), kBasis);
+  }
+  std::uint64_t expected_calls = 0;
+  for (int round = 0; round < rounds; ++round) {
+    for (int t = 0; t < T; ++t) {
+      const auto& members = shapes[static_cast<std::size_t>(t)];
+      const int n = static_cast<int>(members.size());
+      Call c;
+      c.team = t;
+      c.op = kOps[sm.next() % 4];
+      std::vector<gas::CollAlgo> algos = {gas::CollAlgo::automatic};
+      for (gas::CollAlgo a : {gas::CollAlgo::flat, gas::CollAlgo::hier,
+                              gas::CollAlgo::ring, gas::CollAlgo::dissem}) {
+        if (gas::coll_algo_supported(c.op, a)) algos.push_back(a);
+      }
+      c.algo = algos[sm.next() % algos.size()];
+      c.count = 2 + static_cast<std::size_t>(sm.next() % 7);
+      c.root = static_cast<int>(sm.next() % static_cast<std::uint64_t>(n));
+      const int ci = static_cast<int>(schedule.size());
+      const std::size_t full = static_cast<std::size_t>(n) * c.count;
+      for (int m = 0; m < n; ++m) {
+        std::size_t elems = c.count;
+        if (c.op == gas::CollOp::allgather || c.op == gas::CollOp::alltoall) {
+          elems = full;
+        } else if (m == c.root && c.op == gas::CollOp::reduce) {
+          elems = full;  // the flat tree stages per-member slots at the root
+        }
+        auto p = rt.heap().alloc<std::int64_t>(
+            members[static_cast<std::size_t>(m)], elems);
+        for (std::size_t i = 0; i < elems; ++i) p.raw[i] = 0;
+        switch (c.op) {
+          case gas::CollOp::broadcast:
+            if (m == c.root) {
+              for (std::size_t i = 0; i < c.count; ++i) {
+                p.raw[i] = pat(ci, m, i);
+              }
+            }
+            break;
+          case gas::CollOp::reduce:
+            for (std::size_t i = 0; i < c.count; ++i) {
+              p.raw[i] = pat(ci, m, i);
+            }
+            break;
+          case gas::CollOp::allgather:
+            for (std::size_t i = 0; i < c.count; ++i) {
+              p.raw[static_cast<std::size_t>(m) * c.count + i] = pat(ci, m, i);
+            }
+            break;
+          case gas::CollOp::alltoall: {
+            std::vector<std::int64_t> s(full);
+            for (int dst = 0; dst < n; ++dst) {
+              for (std::size_t i = 0; i < c.count; ++i) {
+                s[static_cast<std::size_t>(dst) * c.count + i] =
+                    pat(ci, m, i) + dst * 31;
+              }
+            }
+            c.send.push_back(std::move(s));
+            break;
+          }
+          case gas::CollOp::gather:
+            break;  // never scheduled
+        }
+        c.bufs.push_back(p);
+      }
+      for (int m = 0; m < n; ++m) {
+        std::uint64_t& h = want[static_cast<std::size_t>(t)]
+                               [static_cast<std::size_t>(m)];
+        switch (c.op) {
+          case gas::CollOp::broadcast:
+            for (std::size_t i = 0; i < c.count; ++i) {
+              h = fold(h, pat(ci, c.root, i));
+            }
+            break;
+          case gas::CollOp::reduce:
+            if (m == c.root) {
+              for (std::size_t i = 0; i < c.count; ++i) {
+                std::int64_t s = 0;
+                for (int mm = 0; mm < n; ++mm) s += pat(ci, mm, i);
+                h = fold(h, s);
+              }
+            }
+            break;
+          case gas::CollOp::allgather:
+            for (int mm = 0; mm < n; ++mm) {
+              for (std::size_t i = 0; i < c.count; ++i) {
+                h = fold(h, pat(ci, mm, i));
+              }
+            }
+            break;
+          case gas::CollOp::alltoall:
+            for (int mm = 0; mm < n; ++mm) {
+              for (std::size_t i = 0; i < c.count; ++i) {
+                h = fold(h, pat(ci, mm, i) + m * 31);
+              }
+            }
+            break;
+          case gas::CollOp::gather:
+            break;
+        }
+      }
+      expected_calls += static_cast<std::uint64_t>(n);
+      schedule.push_back(std::move(c));
+    }
+  }
+
+  // Digest buffers for the closing per-team checksum allgather.
+  std::vector<std::vector<gas::GlobalPtr<std::int64_t>>> dig(
+      static_cast<std::size_t>(T));
+  for (int t = 0; t < T; ++t) {
+    const auto& members = shapes[static_cast<std::size_t>(t)];
+    for (std::size_t m = 0; m < members.size(); ++m) {
+      auto p = rt.heap().alloc<std::int64_t>(members[m], members.size());
+      for (std::size_t i = 0; i < members.size(); ++i) p.raw[i] = 0;
+      dig[static_cast<std::size_t>(t)].push_back(p);
+    }
+    expected_calls += static_cast<std::uint64_t>(members.size());
+  }
+
+  std::vector<std::vector<std::uint64_t>> chk(static_cast<std::size_t>(T));
+  std::vector<std::vector<std::uint64_t>> ops(static_cast<std::size_t>(T));
+  std::vector<std::vector<std::uint64_t>> digest(static_cast<std::size_t>(T));
+  for (int t = 0; t < T; ++t) {
+    const std::size_t n = shapes[static_cast<std::size_t>(t)].size();
+    chk[static_cast<std::size_t>(t)].assign(n, kBasis);
+    ops[static_cast<std::size_t>(t)].assign(n, 0);
+    digest[static_cast<std::size_t>(t)].assign(n, 0);
+  }
+
+  const auto plus = [](std::int64_t a, std::int64_t b) { return a + b; };
+  rt.spmd([&](gas::Thread& th) -> sim::Task<void> {
+    for (const Call& c : schedule) {
+      const auto tt = static_cast<std::size_t>(c.team);
+      const int me = colls[tt]->index_of(th.rank());
+      if (me < 0) continue;
+      const int n = colls[tt]->size();
+      switch (c.op) {
+        case gas::CollOp::broadcast:
+          co_await colls[tt]->broadcast(th, c.bufs, c.count, c.root, c.algo);
+          break;
+        case gas::CollOp::reduce:
+          co_await colls[tt]->reduce(th, c.bufs, c.count, c.root, plus,
+                                     c.algo);
+          break;
+        case gas::CollOp::allgather:
+          co_await colls[tt]->allgather(th, c.bufs, c.count, c.algo);
+          break;
+        case gas::CollOp::alltoall:
+          co_await colls[tt]->exchange(
+              th, c.bufs, c.send[static_cast<std::size_t>(me)].data(),
+              c.count, /*overlap=*/false, c.algo);
+          break;
+        case gas::CollOp::gather:
+          break;
+      }
+      std::uint64_t& h = chk[tt][static_cast<std::size_t>(me)];
+      const std::int64_t* mine =
+          c.bufs[static_cast<std::size_t>(me)].raw;
+      switch (c.op) {
+        case gas::CollOp::broadcast:
+          for (std::size_t i = 0; i < c.count; ++i) h = fold(h, mine[i]);
+          break;
+        case gas::CollOp::reduce:
+          if (me == c.root) {
+            for (std::size_t i = 0; i < c.count; ++i) h = fold(h, mine[i]);
+          }
+          break;
+        case gas::CollOp::allgather:
+        case gas::CollOp::alltoall:
+          for (std::size_t i = 0;
+               i < static_cast<std::size_t>(n) * c.count; ++i) {
+            h = fold(h, mine[i]);
+          }
+          break;
+        case gas::CollOp::gather:
+          break;
+      }
+      ++ops[tt][static_cast<std::size_t>(me)];
+    }
+    for (int t = 0; t < T; ++t) {
+      const auto tt = static_cast<std::size_t>(t);
+      const int me = colls[tt]->index_of(th.rank());
+      if (me < 0) continue;
+      const int n = colls[tt]->size();
+      const auto mm = static_cast<std::size_t>(me);
+      dig[tt][mm].raw[me] = static_cast<std::int64_t>(chk[tt][mm]);
+      co_await colls[tt]->allgather(th, dig[tt], 1);
+      std::uint64_t h = kBasis;
+      for (int m = 0; m < n; ++m) h = fold(h, dig[tt][mm].raw[m]);
+      digest[tt][mm] = h;
+      ++ops[tt][mm];
+    }
+  });
+  try {
+    rt.run_to_completion();
+  } catch (const std::exception& e) {
+    res.violations.push_back(std::string("teams: exception: ") + e.what());
+    finish(res, tracer, engine, plan);
+    return res;
+  }
+
+  std::vector<TeamOpRecord> records;
+  for (int t = 0; t < T; ++t) {
+    const auto tt = static_cast<std::size_t>(t);
+    for (std::size_t m = 0; m < shapes[tt].size(); ++m) {
+      records.push_back(TeamOpRecord{t, static_cast<int>(m), ops[tt][m],
+                                     digest[tt][m]});
+    }
+  }
+  check_team_agreement(records, expected_calls, effective(tracer),
+                       res.violations);
+  for (int t = 0; t < T; ++t) {
+    const auto tt = static_cast<std::size_t>(t);
+    std::uint64_t h = kBasis;
+    for (std::size_t m = 0; m < shapes[tt].size(); ++m) {
+      h = fold(h, static_cast<std::int64_t>(want[tt][m]));
+    }
+    for (std::size_t m = 0; m < shapes[tt].size(); ++m) {
+      if (digest[tt][m] != h) {
+        res.violations.push_back(
+            "teams oracle: team " + std::to_string(t) + " member " +
+            std::to_string(m) + " digest " + std::to_string(digest[tt][m]) +
+            " != expected " + std::to_string(h));
+      }
+    }
+  }
+  check_byte_conservation(rt, res.violations);
+  check_trace_network(effective(tracer), rt, res.violations);
+  check_virtual_time(engine, res.violations);
+  finish(res, tracer, engine, plan);
+  return res;
+}
+
 }  // namespace
 
 std::string CaseSpec::replay_command() const {
@@ -382,9 +687,9 @@ CaseSpec derive_case(std::uint64_t case_seed,
   CaseSpec spec;
   spec.seed = case_seed;
   // uts is weighted 2x: it exercises the most seams (steal + net + engine).
-  static const char* const kWorkloads[] = {"uts", "uts", "ft", "barrier",
-                                           "gather", "async"};
-  spec.workload = kWorkloads[sm.next() % 6];
+  static const char* const kWorkloads[] = {"uts",    "uts",   "ft", "barrier",
+                                           "gather", "async", "teams"};
+  spec.workload = kWorkloads[sm.next() % 7];
   spec.backend = sm.next() % 2 == 0 ? "processes" : "pthreads";
   static const char* const kConduits[] = {"ib-qdr", "ib-ddr", "gige"};
   spec.conduit = kConduits[sm.next() % 3];
@@ -400,6 +705,7 @@ CaseResult run_case(const CaseSpec& spec, const PlanParams& plan) {
   if (spec.workload == "barrier") return run_barrier(spec, plan);
   if (spec.workload == "gather") return run_gather(spec, plan);
   if (spec.workload == "async") return run_async(spec, plan);
+  if (spec.workload == "teams") return run_teams(spec, plan);
   return run_uts(spec, plan);
 }
 

@@ -16,7 +16,10 @@
 //   barrier — a barrier storm with skewed arrivals (linearizability);
 //   gather  — read-cached gather vs. an uncached oracle (transparency);
 //   async   — overlapped copy_async + RPC ring (completion ordering,
-//             read-your-writes after future resolution).
+//             read-your-writes after future resolution);
+//   teams   — overlapping collective teams running seeded (op, algorithm)
+//             sequences vs. a host-side oracle (team agreement, per-(team,
+//             op) matching, gas.coll.* counter conservation).
 #pragma once
 
 #include <cstdint>
@@ -39,7 +42,7 @@ struct FuzzOptions {
   std::vector<std::string> templates = {"jitter",      "latency-spike",
                                         "bw-dip",      "blackout",
                                         "steal-storm", "completion-storm",
-                                        "mixed"};
+                                        "team-storm",  "mixed"};
   /// Plant the test-only steal-split off-by-one (UTS cases only): the sweep
   /// must then find a conservation violation — how the fuzzer's own
   /// detection power is regression-tested.
@@ -51,7 +54,8 @@ struct FuzzOptions {
 /// template, plan magnitudes, tree shape — is a pure function of `seed`.
 struct CaseSpec {
   std::uint64_t seed = 0;
-  std::string workload;  // "uts" | "ft" | "barrier" | "gather" | "async"
+  std::string workload;  // "uts" | "ft" | "barrier" | "gather" | "async" |
+                         // "teams"
   std::string backend;   // "processes" | "pthreads"
   std::string conduit;   // "ib-qdr" | "ib-ddr" | "gige"
   std::string plan;      // template name

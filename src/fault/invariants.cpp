@@ -1,6 +1,7 @@
 #include "fault/invariants.hpp"
 
 #include <cmath>
+#include <map>
 
 namespace hupc::fault {
 
@@ -136,6 +137,50 @@ void check_async_ordering(const std::vector<AsyncOpRecord>& ops,
                   std::to_string(sent) + " / executed " +
                   std::to_string(executed) + " / completed " +
                   std::to_string(completed) + " diverge");
+  }
+}
+
+void check_team_agreement(const std::vector<TeamOpRecord>& records,
+                          std::uint64_t expected_coll_calls,
+                          const trace::Tracer* tracer, Violations& out) {
+  std::map<int, const TeamOpRecord*> first_of;
+  std::uint64_t total_ops = 0;
+  for (const TeamOpRecord& rec : records) {
+    total_ops += rec.ops;
+    const auto [it, fresh] = first_of.emplace(rec.team, &rec);
+    if (fresh) continue;
+    const TeamOpRecord& head = *it->second;
+    if (rec.ops != head.ops) {
+      out.push_back("team agreement: team " + std::to_string(rec.team) +
+                    " member " + std::to_string(rec.member) + " completed " +
+                    std::to_string(rec.ops) + " ops, member " +
+                    std::to_string(head.member) + " completed " +
+                    std::to_string(head.ops));
+    }
+    if (rec.checksum != head.checksum) {
+      out.push_back("team agreement: team " + std::to_string(rec.team) +
+                    " member " + std::to_string(rec.member) + " digest " +
+                    std::to_string(rec.checksum) + " != member " +
+                    std::to_string(head.member) + " digest " +
+                    std::to_string(head.checksum));
+    }
+  }
+  if (total_ops != expected_coll_calls) {
+    out.push_back("team agreement: members report " +
+                  std::to_string(total_ops) + " collective calls, workload " +
+                  "performed " + std::to_string(expected_coll_calls));
+  }
+  if (tracer == nullptr) return;
+  static const char* const kCollCounters[] = {
+      "gas.coll.broadcast", "gas.coll.reduce", "gas.coll.gather",
+      "gas.coll.allgather", "gas.coll.alltoall"};
+  std::uint64_t traced = 0;
+  for (const char* name : kCollCounters) traced += tracer->counter_total(name);
+  if (traced != expected_coll_calls) {
+    out.push_back("trace cross-check: gas.coll.* total " +
+                  std::to_string(traced) + " != member calls " +
+                  std::to_string(expected_coll_calls) +
+                  " (a collective call went uncounted or double-counted)");
   }
 }
 

@@ -21,7 +21,10 @@
 //   cache transparency     — the read cache shifts the modeled cost
 //                            schedule only: cached and uncached runs of
 //                            the same workload compute identical results,
-//                            and the cache's own accounting is coherent.
+//                            and the cache's own accounting is coherent;
+//   team agreement         — every member of a collective team completed
+//                            the same number of operations and derived the
+//                            same digest, whatever algorithm ran them.
 #pragma once
 
 #include <cstdint>
@@ -82,6 +85,28 @@ struct AsyncOpRecord {
 /// conserve: async.copy.issued == async.copy.completed + async.copy.failed
 /// and async.rpc.sent == async.rpc.executed == async.rpc.completed.
 void check_async_ordering(const std::vector<AsyncOpRecord>& ops,
+                          const trace::Tracer* tracer, Violations& out);
+
+/// One team member's view of a finished team-collective workload: how many
+/// collective operations it completed on that team and the team digest it
+/// derived from the values the collectives delivered to it. The digest is
+/// produced by a closing allgather of every member's running checksum, so
+/// a correct run leaves every member of a team holding the same digest.
+struct TeamOpRecord {
+  int team = 0;                // team id within the workload
+  int member = 0;              // member index within that team
+  std::uint64_t ops = 0;       // collective calls this member completed
+  std::uint64_t checksum = 0;  // team digest this member derived
+};
+
+/// Team collective agreement: within each team, every member completed the
+/// same number of collective operations and derived the same digest —
+/// fault timing, algorithm choice, and team overlap may reshape the
+/// schedule but never WHAT a collective delivers. With a tracer attached,
+/// the summed gas.coll.* call counters must equal `expected_coll_calls`
+/// (the per-member call total the workload performed).
+void check_team_agreement(const std::vector<TeamOpRecord>& records,
+                          std::uint64_t expected_coll_calls,
                           const trace::Tracer* tracer, Violations& out);
 
 /// Work conservation for a finished WorkStealing run: processed ==

@@ -178,7 +178,7 @@ const std::vector<std::string>& plan_template_names() {
       "none",        "jitter",         "latency-spike",
       "bw-dip",      "blackout",       "steal-storm",
       "spawn-throttle", "heap-pressure", "cache-storm",
-      "completion-storm", "mixed"};
+      "completion-storm", "team-storm",  "mixed"};
   return names;
 }
 
@@ -240,6 +240,20 @@ PlanParams plan_template(const std::string& name, std::uint64_t seed) {
     p.completion_delay_max_s = in(5e-6, 80e-6);
     return p;
   }
+  if (name == "team-storm") {
+    // Collectives stress: jitter reorders ready events so team members hit
+    // a collective in every arrival order, message delays skew the tree
+    // levels, and one darkened node forces leader traffic to queue — the
+    // combination hierarchical algorithms are most sensitive to.
+    p.event_jitter_p = in(0.10, 0.40);
+    p.event_jitter_max_s = in(1e-6, 8e-6);
+    p.msg_delay_p = in(0.15, 0.50);
+    p.msg_delay_max_s = in(10e-6, 150e-6);
+    p.blackout_node = static_cast<int>(sm.next() % 2);  // fuzz runs 2 nodes
+    p.blackout_start_s = in(0.05e-3, 0.5e-3);
+    p.blackout_duration_s = in(0.2e-3, 1.5e-3);
+    return p;
+  }
   if (name == "mixed") {
     p.event_jitter_p = in(0.05, 0.20);
     p.event_jitter_max_s = in(1e-6, 5e-6);
@@ -253,7 +267,8 @@ PlanParams plan_template(const std::string& name, std::uint64_t seed) {
   throw std::invalid_argument(
       "fault::plan_template: unknown template \"" + name +
       "\" (known: none jitter latency-spike bw-dip blackout steal-storm "
-      "spawn-throttle heap-pressure cache-storm completion-storm mixed)");
+      "spawn-throttle heap-pressure cache-storm completion-storm team-storm "
+      "mixed)");
 }
 
 }  // namespace hupc::fault

@@ -87,6 +87,15 @@ sim::Task<void> FtModel::exchange_split(gas::Thread& self) {
                             static_cast<std::size_t>(chunk_bytes_));
     co_return;
   }
+  gas::CollectiveSelector sel;
+  sel.override_algo = cfg_.coll_algo;
+  const gas::CollAlgo algo =
+      sel.choose(gas::CollOp::alltoall, static_cast<std::size_t>(chunk_bytes_),
+                 T, rt_->nodes_used() > 1);
+  if (algo == gas::CollAlgo::hier && rt_->nodes_used() > 1) {
+    co_await exchange_hier(self);
+    co_return;
+  }
   // Berkeley-style split phase: issue every peer chunk non-blocking, then
   // wait for all transfers, then a barrier to close the epoch. The async
   // path pipelines through the completion layer (when_all over promise-
@@ -109,6 +118,67 @@ sim::Task<void> FtModel::exchange_split(gas::Thread& self) {
           peer, nullptr, nullptr, static_cast<std::size_t>(chunk_bytes_))));
     }
     for (auto& f : pending) co_await f.wait();
+  }
+  co_await self.barrier();
+}
+
+sim::Task<void> FtModel::exchange_hier(gas::Thread& self) {
+  // Supernode-leader all-to-all, cost-model edition (mirrors the
+  // gas::Collectives hier schedule): intra-node chunks go direct (PSHM),
+  // each non-leader funnels its off-node portion through its node leader,
+  // leaders exchange ONE aggregated message per ordered node pair, and
+  // non-leaders pull their inbound slab back. The wire sees G*(G-1) large
+  // messages instead of T*(T-1) small ones.
+  const int T = self.threads();
+  const int me = self.rank();
+  const int my_node = rt_->node_of(me);
+  const int G = rt_->nodes_used();
+  std::vector<int> node_sizes(static_cast<std::size_t>(G), 0);
+  std::vector<int> leaders(static_cast<std::size_t>(G), -1);
+  std::vector<int> locals;
+  for (int r = 0; r < T; ++r) {
+    const int node = rt_->node_of(r);
+    if (leaders[static_cast<std::size_t>(node)] < 0) {
+      leaders[static_cast<std::size_t>(node)] = r;
+    }
+    ++node_sizes[static_cast<std::size_t>(node)];
+    if (node == my_node) locals.push_back(r);
+  }
+  const int A = static_cast<int>(locals.size());
+  const int leader = leaders[static_cast<std::size_t>(my_node)];
+  const auto chunk = [this](double chunks) {
+    return static_cast<std::size_t>(chunk_bytes_ * chunks);
+  };
+
+  // Phase 1 — node-local: direct chunks to local peers, plus the off-node
+  // funnel into the leader's staging.
+  for (int peer : locals) {
+    if (peer == me) continue;
+    co_await self.copy_raw(peer, nullptr, nullptr, chunk(1));
+  }
+  if (me != leader) {
+    co_await self.copy_raw(leader, nullptr, nullptr, chunk(T - A));
+  }
+  co_await self.barrier();
+
+  // Phase 2 — leader exchange: one aggregated message per other node,
+  // staggered by node and pipelined through the completion layer.
+  if (me == leader && G > 1) {
+    std::vector<async::future<>> pending;
+    pending.reserve(static_cast<std::size_t>(G - 1));
+    for (int s = 1; s < G; ++s) {
+      const int h = (my_node + s) % G;
+      pending.push_back(self.launch_async(self.copy_raw(
+          leaders[static_cast<std::size_t>(h)], nullptr, nullptr,
+          chunk(static_cast<double>(A) * node_sizes[static_cast<std::size_t>(h)]))));
+    }
+    co_await async::when_all(std::move(pending)).wait();
+  }
+  co_await self.barrier();
+
+  // Phase 3 — local scatter: non-leaders pull their inbound off-node slab.
+  if (me != leader) {
+    co_await self.copy_raw(leader, nullptr, nullptr, chunk(T - A));
   }
   co_await self.barrier();
 }

@@ -74,6 +74,12 @@ struct FtConfig {
   // path additionally flows through fault::CompletionHook and the
   // async.copy.* counters. hupc_bench exposes it as --async=on|off.
   bool async = true;
+  // All-to-all algorithm for the upc_p2p split-phase exchange: flat
+  // staggered (the §4.3.3.1 reference) or the supernode-leader
+  // hierarchical schedule (node-local funnel -> one aggregated message
+  // per leader pair -> local scatter); `automatic` defers to the
+  // size/shape selector. hupc_bench exposes it as --coll-algo=.
+  gas::CollAlgo coll_algo = gas::CollAlgo::automatic;
 };
 
 struct FtTimings {
@@ -120,6 +126,7 @@ class FtModel {
                                               core::SubPool* pool,
                                               double bytes);
   [[nodiscard]] sim::Task<void> exchange_split(gas::Thread& self);
+  [[nodiscard]] sim::Task<void> exchange_hier(gas::Thread& self);
   [[nodiscard]] sim::Task<void> exchange_overlap(gas::Thread& self,
                                                  core::SubPool* pool,
                                                  double per_plane_seconds,

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "gas/collectives.hpp"
 #include "gas/global_ptr.hpp"
 #include "gas/runtime.hpp"
 #include "sim/sim.hpp"
@@ -58,6 +59,31 @@ template <class T, class Op>
     acc = op(acc, co_await self.get(a.at(i)));
   }
   co_return acc;
+}
+
+/// Collective-tree reduction: each rank folds ONLY the elements it owns
+/// (in ascending index order, at private-access cost) and the partials
+/// combine through `coll.allreduce_value` — a topology-aware tree instead
+/// of every rank walking every element. Every rank of `coll`'s member set
+/// must call this; `init` must be the identity of `op` (each rank seeds
+/// its local fold with it, so a non-identity init would be folded once
+/// per member). Bit-identical across collective algorithms whenever `op`
+/// is exactly associative + commutative.
+template <class T, class Op>
+[[nodiscard]] sim::Task<T> reduce_gather(Thread& self, Collectives& coll,
+                                         const SharedArray<T>& a, T init, Op op,
+                                         CollAlgo algo = CollAlgo::automatic) {
+  T acc = init;
+  std::uint64_t mine = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.owner_of(i) == self.rank()) {
+      acc = op(acc, *a.at(i).raw);
+      ++mine;
+    }
+  }
+  co_await self.compute(static_cast<double>(mine) * 1e-9);
+  co_await self.stream_local(static_cast<double>(mine) * sizeof(T));
+  co_return co_await coll.allreduce_value(self, acc, op, algo);
 }
 
 /// Affinity by index (upc_forall with an integer affinity expression):

@@ -57,9 +57,76 @@ TEST(Team, RejectsBadRankSets) {
   sim::Engine e;
   Runtime rt(e, cfg(4, 1));
   EXPECT_THROW(Team(rt, {}), std::invalid_argument);
-  EXPECT_THROW(Team(rt, {2, 1}), std::invalid_argument);
   EXPECT_THROW(Team(rt, {1, 1}), std::invalid_argument);
   EXPECT_THROW(Team(rt, {0, 99}), std::invalid_argument);
+  // Unsorted is allowed (split() emits key-ordered teams): member index is
+  // the position in the rank list, whatever the order.
+  Team t(rt, {2, 0, 3});
+  EXPECT_EQ(t.global_rank(0), 2);
+  EXPECT_EQ(t.team_rank(2), 0);
+  EXPECT_EQ(t.team_rank(3), 2);
+  EXPECT_EQ(t.team_rank(1), -1);
+}
+
+TEST(Team, SplitPartitionsByColorOrderedByKey) {
+  sim::Engine e;
+  Runtime rt(e, cfg(8, 2));
+  Team everyone(rt, {0, 1, 2, 3, 4, 5, 6, 7});
+  // Color by parity; key reverses the order inside the odd subteam.
+  const std::vector<int> colors = {0, 1, 0, 1, 0, 1, 0, 1};
+  const std::vector<int> keys = {0, 7, 0, 5, 0, 3, 0, 1};
+  auto subs = everyone.split(colors, keys);
+  ASSERT_EQ(subs.size(), 2u);
+  EXPECT_EQ(subs[0].ranks(), (std::vector<int>{0, 2, 4, 6}));
+  EXPECT_EQ(subs[1].ranks(), (std::vector<int>{7, 5, 3, 1}));  // key order
+  EXPECT_EQ(subs[1].team_rank(7), 0);
+  EXPECT_EQ(subs[1].team_rank(1), 3);
+}
+
+TEST(Team, SplitNegativeColorJoinsNoTeam) {
+  sim::Engine e;
+  Runtime rt(e, cfg(4, 1));
+  Team everyone(rt, {0, 1, 2, 3});
+  auto subs = everyone.split({0, -1, 0, -1});
+  ASSERT_EQ(subs.size(), 1u);
+  EXPECT_EQ(subs[0].ranks(), (std::vector<int>{0, 2}));
+  EXPECT_THROW(everyone.split({0, 1}), std::invalid_argument);
+  EXPECT_THROW(everyone.split({0, 0, 0, 0}, {1, 2}), std::invalid_argument);
+}
+
+TEST(Team, SplitByNodeMatchesNodeTeams) {
+  sim::Engine e;
+  Runtime rt(e, cfg(8, 2));
+  Team everyone(rt, {0, 1, 2, 3, 4, 5, 6, 7});
+  auto subs = everyone.split_by_node();
+  ASSERT_EQ(subs.size(), 2u);
+  EXPECT_EQ(subs[0].ranks(), Team::node_team(rt, 0).ranks());
+  EXPECT_EQ(subs[1].ranks(), Team::node_team(rt, 1).ranks());
+  // A partial, unsorted parent splits into node groups in member order.
+  Team ragged(rt, {5, 1, 0, 6});
+  auto rsubs = ragged.split_by_node();
+  ASSERT_EQ(rsubs.size(), 2u);
+  EXPECT_EQ(rsubs[0].ranks(), (std::vector<int>{1, 0}));  // node 0, key order
+  EXPECT_EQ(rsubs[1].ranks(), (std::vector<int>{5, 6}));  // node 1
+}
+
+TEST(Team, SplitBySocketCoversEveryMemberOnce) {
+  sim::Engine e;
+  Runtime rt(e, cfg(8, 1));  // one node, cyclic over 2 sockets
+  Team everyone(rt, {0, 1, 2, 3, 4, 5, 6, 7});
+  auto subs = everyone.split_by_socket();
+  ASSERT_EQ(subs.size(), 2u);
+  EXPECT_EQ(subs[0].ranks(), Team::socket_team(rt, 0, 0).ranks());
+  EXPECT_EQ(subs[1].ranks(), Team::socket_team(rt, 0, 1).ranks());
+}
+
+TEST(Team, LeaderTeamPicksFirstMemberPerNode) {
+  sim::Engine e;
+  Runtime rt(e, cfg(8, 2));
+  Team everyone(rt, {0, 1, 2, 3, 4, 5, 6, 7});
+  EXPECT_EQ(everyone.leader_team().ranks(), (std::vector<int>{0, 4}));
+  Team ragged(rt, {6, 2, 1, 5});  // first member on node 1 is 6, node 0 is 2
+  EXPECT_EQ(ragged.leader_team().ranks(), (std::vector<int>{2, 6}));
 }
 
 TEST(Team, BarrierGatesOnlyMembers) {

@@ -138,20 +138,28 @@ TEST(FtModel, HybridReducesCommTimeAtFullSubscription) {
 TEST(FtModel, MpiUsesFarFewerMessagesAtSmallChunks) {
   // At 64 threads the class-S exchange chunk is 1 KiB, below the
   // aggregation threshold: the tuned collective ships nodes^2 leader
-  // messages instead of THREADS^2 point-to-point ones.
-  auto messages = [](fft::FtComm comm) {
+  // messages instead of THREADS^2 point-to-point ones. The UPC baseline
+  // pins --coll-algo=flat — under `auto` the selector picks the
+  // hierarchical exchange at this chunk size and closes the gap itself
+  // (asserted below), so flat is the only fine-grained run left.
+  auto messages = [](fft::FtComm comm, gas::CollAlgo algo) {
     sim::Engine e;
     Runtime rt(e, cfg(64, 8));
     FtConfig fc;
     fc.grid = FtParams::class_s();
     fc.comm = comm;
+    fc.coll_algo = algo;
     FtModel ft(rt, fc);
     rt.spmd([&ft](Thread& t) -> sim::Task<void> { co_await ft.run(t); });
     rt.run_to_completion();
     return rt.network().total_messages();
   };
-  EXPECT_LT(messages(fft::FtComm::mpi_alltoall),
-            messages(fft::FtComm::upc_p2p) / 4);
+  const auto mpi = messages(fft::FtComm::mpi_alltoall, gas::CollAlgo::flat);
+  const auto flat = messages(fft::FtComm::upc_p2p, gas::CollAlgo::flat);
+  const auto auto_selected =
+      messages(fft::FtComm::upc_p2p, gas::CollAlgo::automatic);
+  EXPECT_LT(mpi, flat / 4);
+  EXPECT_LT(auto_selected, flat / 4);
 }
 
 TEST(FtModel, ClassParamsMatchNas) {

@@ -57,6 +57,7 @@ sim_suites=(
   bench_ablation_readcache
   bench_ablation_steal
   bench_ablation_async
+  bench_ablation_collectives
   bench_gups_groups
   bench_fig_3_3_uts_scaling
 )
