@@ -18,12 +18,20 @@
 // plus per-node/per-socket subteam sums under --team-split), verified
 // against a host-side fold.
 //
+// With --vis=on a 2-D column-distributed stencil runs as well: each rank
+// owns a vertical strip of the plate, so the halo a neighbour needs is an
+// edge COLUMN — ny elements strided by the strip width. The exchange runs
+// twice, once with per-element puts and once as a single packed
+// gas::copy_strided message per neighbour, and the two grids must be
+// bit-identical after every step.
+//
 //   ./heat_stencil [--threads N] [--nodes M] [--cells 4096] [--steps 200]
 //                  [--async=on|off] [--coll-algo=auto|flat|hier|ring|dissem]
-//                  [--team-split=none|node|socket]
+//                  [--team-split=none|node|socket] [--vis=on|off]
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <numeric>
 #include <string>
@@ -68,7 +76,15 @@ int main(int argc, char** argv) {
   const std::string async_opt = cli.get("async", "off");
   const std::string coll_algo_opt = cli.get("coll-algo", "auto");
   const std::string team_split = cli.get("team-split", "none");
+  const std::string vis_opt = cli.get("vis", "off");
   cli.reject_unread("heat_stencil");
+  if (vis_opt != "on" && vis_opt != "off") {
+    std::fprintf(stderr,
+                 "heat_stencil: error: unknown --vis value '%s' "
+                 "(expected on|off)\n",
+                 vis_opt.c_str());
+    return 2;
+  }
   if (async_opt != "on" && async_opt != "off") {
     std::printf("unknown --async value '%s' (expected on|off)\n",
                 async_opt.c_str());
@@ -344,6 +360,121 @@ int main(int argc, char** argv) {
                 gas::coll_algo_name(*coll_algo), team_split.c_str(),
                 subteams.size());
     if (max_err > 1e-9) return 1;
+  }
+
+  // --- 2-D column-distributed stencil (VIS halo exchange) ---------------
+  // Each rank owns a ny2 x w2 vertical strip (row-major), so the halo a
+  // neighbour needs is an edge column: ny2 elements strided by w2. The
+  // element-loop variant pushes it with one put per row; the VIS variant
+  // ships the same column as ONE packed strided message per neighbour.
+  // Same arithmetic, same order — the final grids must be bit-identical.
+  if (vis_opt == "on") {
+    constexpr std::size_t kW2 = 8;       // columns per rank
+    constexpr std::size_t kNy2 = 32;     // rows
+    constexpr int kSteps2 = 10;
+    constexpr double kAlpha2 = 0.125;
+    auto run_2d = [&](bool use_vis) {
+      sim::Engine engine;
+      gas::Config config;
+      config.machine = topo::lehman(nodes);
+      config.threads = threads;
+      gas::Runtime rt(engine, config);
+
+      std::vector<gas::GlobalPtr<double>> strip, lhalo, rhalo;
+      for (int r = 0; r < threads; ++r) {
+        strip.push_back(rt.heap().alloc<double>(r, kNy2 * kW2));
+        lhalo.push_back(rt.heap().alloc<double>(r, kNy2));
+        rhalo.push_back(rt.heap().alloc<double>(r, kNy2));
+      }
+      rt.spmd([&, use_vis](gas::Thread& t) -> sim::Task<void> {
+        const int me = t.rank();
+        const int T = t.threads();
+        double* cur = strip[static_cast<std::size_t>(me)].raw;
+        for (std::size_t y = 0; y < kNy2; ++y) {
+          for (std::size_t x = 0; x < kW2; ++x) {
+            const std::size_t gx = static_cast<std::size_t>(me) * kW2 + x;
+            cur[y * kW2 + x] =
+                static_cast<double>((y * 31 + gx * 17) % 7) * 0.125;
+          }
+        }
+        std::vector<double> next(kNy2 * kW2);
+        co_await t.barrier();
+
+        for (int s = 0; s < kSteps2; ++s) {
+          // Push my edge columns into the neighbours' halo boxes.
+          if (me > 0) {
+            gas::GlobalPtr<double> box = rhalo[static_cast<std::size_t>(me - 1)];
+            if (use_vis) {
+              co_await t.copy_strided(box, gas::StridedSpec::contiguous(kNy2),
+                                      cur, gas::StridedSpec::rows(1, kNy2, kW2));
+            } else {
+              for (std::size_t y = 0; y < kNy2; ++y) {
+                co_await t.put(gas::GlobalPtr<double>{box.owner, box.raw + y},
+                               cur[y * kW2]);
+              }
+            }
+          }
+          if (me + 1 < T) {
+            gas::GlobalPtr<double> box = lhalo[static_cast<std::size_t>(me + 1)];
+            if (use_vis) {
+              co_await t.copy_strided(box, gas::StridedSpec::contiguous(kNy2),
+                                      cur + (kW2 - 1),
+                                      gas::StridedSpec::rows(1, kNy2, kW2));
+            } else {
+              for (std::size_t y = 0; y < kNy2; ++y) {
+                co_await t.put(gas::GlobalPtr<double>{box.owner, box.raw + y},
+                               cur[y * kW2 + kW2 - 1]);
+              }
+            }
+          }
+          co_await t.barrier();  // every halo box is filled
+          const double* lh = lhalo[static_cast<std::size_t>(me)].raw;
+          const double* rh = rhalo[static_cast<std::size_t>(me)].raw;
+          for (std::size_t y = 0; y < kNy2; ++y) {
+            for (std::size_t x = 0; x < kW2; ++x) {
+              const double c = cur[y * kW2 + x];
+              const double up = y > 0 ? cur[(y - 1) * kW2 + x] : c;
+              const double dn = y + 1 < kNy2 ? cur[(y + 1) * kW2 + x] : c;
+              const double lf = x > 0 ? cur[y * kW2 + x - 1]
+                                      : (me > 0 ? lh[y] : c);
+              const double rg = x + 1 < kW2 ? cur[y * kW2 + x + 1]
+                                            : (me + 1 < T ? rh[y] : c);
+              next[y * kW2 + x] = c + kAlpha2 * (up + dn + lf + rg - 4.0 * c);
+            }
+          }
+          co_await t.compute(static_cast<double>(kNy2 * kW2) * 6.0 /
+                             (t.runtime().config().machine.core_flops() * 0.5));
+          std::memcpy(cur, next.data(), kNy2 * kW2 * sizeof(double));
+          // Nobody may refill a halo box before its owner consumed it.
+          co_await t.barrier();
+        }
+        co_return;
+      });
+      rt.run_to_completion();
+
+      std::vector<double> dense(kNy2 * kW2 * static_cast<std::size_t>(threads));
+      for (int r = 0; r < threads; ++r) {
+        const double* s = strip[static_cast<std::size_t>(r)].raw;
+        for (std::size_t y = 0; y < kNy2; ++y) {
+          std::memcpy(dense.data() +
+                          (y * static_cast<std::size_t>(threads) +
+                           static_cast<std::size_t>(r)) * kW2,
+                      s + y * kW2, kW2 * sizeof(double));
+        }
+      }
+      return dense;
+    };
+
+    const auto loop_grid = run_2d(false);
+    const auto vis_grid = run_2d(true);
+    const bool identical =
+        std::memcmp(loop_grid.data(), vis_grid.data(),
+                    loop_grid.size() * sizeof(double)) == 0;
+    std::printf("%-12s %zux%zu plate, %d steps, %d threads: vis halo %s\n",
+                "vis-2d", kNy2, kW2 * static_cast<std::size_t>(threads),
+                kSteps2, threads,
+                identical ? "bit-identical to element loop" : "MISMATCH");
+    if (!identical) return 1;
   }
   return 0;
 }

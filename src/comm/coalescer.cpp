@@ -81,6 +81,21 @@ sim::Task<void> Coalescer::put(int dst_node, void* dst, const void* value,
   }
 }
 
+sim::Task<void> Coalescer::put_regions(int dst_node, void* dst_base,
+                                       const void* src_base,
+                                       const net::Region* regions,
+                                       std::size_t count) {
+  auto* dst = static_cast<std::byte*>(dst_base);
+  const auto* src = static_cast<const std::byte*>(src_base);
+  HUPC_TRACE_COUNT(tracer_, "comm.vis.packed", rank_,
+                   static_cast<std::uint64_t>(count));
+  for (std::size_t i = 0; i < count; ++i) {
+    if (regions[i].bytes == 0) continue;
+    co_await put(dst_node, dst + regions[i].dst_off, src + regions[i].src_off,
+                 regions[i].bytes);
+  }
+}
+
 sim::Task<void> Coalescer::read(int dst_node, const void* addr,
                                 std::size_t bytes) {
   assert(dst_node != src_node_ &&

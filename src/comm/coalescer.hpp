@@ -111,6 +111,17 @@ class Coalescer {
   [[nodiscard]] sim::Task<void> put(int dst_node, void* dst,
                                     const void* value, std::size_t bytes);
 
+  /// Pack a lowered VIS descriptor (gas::copy_strided / copy_irregular
+  /// inside a coalescing epoch) into the destination's buffer: one
+  /// deferred put per packed region, value bytes captured now, applied at
+  /// flush — exactly put() semantics region by region, so capacity flushes
+  /// interleave and the conflict machinery sees every region. Zero-length
+  /// regions are skipped.
+  [[nodiscard]] sim::Task<void> put_regions(int dst_node, void* dst_base,
+                                            const void* src_base,
+                                            const net::Region* regions,
+                                            std::size_t count);
+
   /// Absorb a read-class access (get / AMO / metadata probe) of
   /// [addr, addr+bytes): flushes the destination buffer first when the
   /// range overlaps a buffered put (read-your-writes), then appends the

@@ -86,9 +86,7 @@ sim::Task<bool> ReadCache::read(int owner, int dst_node, std::int64_t offset,
   co_return all_hit;
 }
 
-sim::Task<void> ReadCache::fill(int owner, int dst_node,
-                                std::uint64_t line_no,
-                                std::size_t access_bytes) {
+void ReadCache::install(int owner, std::uint64_t line_no) {
   const std::size_t base = set_index(owner, line_no) * params_.ways;
   std::size_t victim = base;
   for (std::size_t w = 0; w < params_.ways; ++w) {
@@ -106,6 +104,12 @@ sim::Task<void> ReadCache::fill(int owner, int dst_node,
   ++stats_.misses;
   stats_.fetched_bytes += static_cast<double>(params_.line_bytes);
   HUPC_TRACE_COUNT(tracer_, "gas.cache.misses", rank_);
+}
+
+sim::Task<void> ReadCache::fill(int owner, int dst_node,
+                                std::uint64_t line_no,
+                                std::size_t access_bytes) {
+  install(owner, line_no);
   // One round trip fetches the whole line; count how many accesses of
   // this size it amortizes, so the net.aggregated/net.coalesced_ops
   // counters expose the line-fill batching exactly like coalescer
@@ -120,6 +124,65 @@ sim::Task<void> ReadCache::fill(int owner, int dst_node,
       .bytes = static_cast<double>(params_.line_bytes),
       .api_scale = params_.api_scale,
       .coalesced_count = amortized});
+}
+
+sim::Task<std::size_t> ReadCache::prefetch(int owner, int dst_node,
+                                           const Range* ranges,
+                                           std::size_t count) {
+  assert(sets_ != 0 && "configure() the cache before prefetch()");
+  const auto lb = static_cast<std::uint64_t>(params_.line_bytes);
+  // The footprint's distinct lines, ascending (deterministic fill order).
+  std::vector<std::uint64_t> touched;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (ranges[i].bytes == 0 || ranges[i].offset < 0) continue;
+    const auto off = static_cast<std::uint64_t>(ranges[i].offset);
+    const std::uint64_t first = off / lb;
+    const std::uint64_t last = (off + ranges[i].bytes - 1) / lb;
+    for (std::uint64_t line_no = first; line_no <= last; ++line_no) {
+      touched.push_back(line_no);
+    }
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+
+  std::size_t filled = 0;
+  for (const std::uint64_t line_no : touched) {
+    const int way = find(owner, line_no);
+    if (way >= 0) {
+      const std::size_t idx = set_index(owner, line_no) * params_.ways +
+                              static_cast<std::size_t>(way);
+      if (fault_ != nullptr && fault_->drop_cached_line(rank_)) {
+        lines_[idx].valid = false;
+        ++stats_.invalidations;
+        HUPC_TRACE_COUNT(tracer_, "gas.cache.invalidations", rank_);
+      } else {
+        lines_[idx].tick = ++tick_;
+        ++stats_.hits;
+        HUPC_TRACE_COUNT(tracer_, "gas.cache.hits", rank_);
+        continue;
+      }
+    }
+    install(owner, line_no);
+    ++filled;
+  }
+  if (filled == 0) co_return 0;
+  // One packed message fetches every missing line the footprint touches:
+  // regions/coalesced_count expose the batching to the counters and the
+  // vis trace events, exactly like a coalescer flush (accounting only).
+  HUPC_TRACE_COUNT(tracer_, "gas.cache.prefetch", rank_,
+                   static_cast<std::uint64_t>(filled));
+  const double payload =
+      static_cast<double>(filled) * static_cast<double>(params_.line_bytes);
+  co_await net_->rma(net::Transfer{
+      .src_node = src_node_,
+      .src_ep = src_ep_,
+      .dst_node = dst_node,
+      .bytes = payload,
+      .api_scale = params_.api_scale,
+      .coalesced_count = static_cast<std::uint64_t>(filled),
+      .regions = static_cast<std::uint64_t>(filled),
+      .payload_bytes = payload});
+  co_return filled;
 }
 
 void ReadCache::invalidate_range(int owner, std::int64_t offset,

@@ -109,6 +109,21 @@ class ReadCache {
   [[nodiscard]] sim::Task<bool> read(int owner, int dst_node,
                                      std::int64_t offset, std::size_t bytes);
 
+  /// One (segment offset, bytes) range of a strided/indexed GET footprint.
+  struct Range {
+    std::int64_t offset = 0;
+    std::size_t bytes = 0;
+  };
+
+  /// Serve a whole VIS GET footprint at once: compute the distinct lines
+  /// the ranges touch, serve hits for free, and fetch ALL missing lines
+  /// with ONE packed rma (`regions` = lines fetched) — prefetching every
+  /// line a stride touches instead of round-tripping per element or per
+  /// line. Returns the number of lines filled (0 = pure local service).
+  [[nodiscard]] sim::Task<std::size_t> prefetch(int owner, int dst_node,
+                                                const Range* ranges,
+                                                std::size_t count);
+
   /// Drop any lines overlapping [offset, offset+bytes) in `owner`'s
   /// segment (own-write / AMO coherence). Host-side, free.
   void invalidate_range(int owner, std::int64_t offset, std::size_t bytes);
@@ -132,6 +147,9 @@ class ReadCache {
                                       std::uint64_t line_no) const noexcept;
   /// Look up (owner, line_no) in its set; returns the way index or -1.
   [[nodiscard]] int find(int owner, std::uint64_t line_no) const noexcept;
+  /// Install (owner, line_no) over its set's LRU victim and account the
+  /// miss — the tag-store half of a fill; the caller charges the rma.
+  void install(int owner, std::uint64_t line_no);
   /// Fill (owner, line_no) into its set (LRU victim), charging one rma of
   /// `line_bytes` to `dst_node`; `access_bytes` sizes the aggregation
   /// accounting (how many same-size accesses the line amortizes).

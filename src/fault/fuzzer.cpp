@@ -1,5 +1,6 @@
 #include "fault/fuzzer.hpp"
 
+#include <cassert>
 #include <functional>
 #include <memory>
 #include <ostream>
@@ -669,6 +670,223 @@ CaseResult run_teams(const CaseSpec& spec, const PlanParams& plan_params) {
   return res;
 }
 
+// VIS workload: every rank scatters seeded strided/indexed puts into
+// disjoint slices of its peers' slabs, barriers, then gathers seeded
+// strided/indexed footprints back out and folds a checksum. A host-side
+// mirror applies the identical schedule to plain arrays: after the run the
+// slabs must match the mirror bit-for-bit and every rank's checksum must
+// match the mirror's fold. Alongside the data oracle, the schedule also
+// yields a VisExpectation — every cross-node transfer with >= 2 regions
+// must appear in the network's packed-message accounting exactly once,
+// with its region count and payload bytes conserved (sum of region bytes
+// == transferred payload), whatever delays or bandwidth dips the plan
+// injects. Strides stay strictly wider than run lengths and indexed
+// regions keep one-element gaps, so the lowering never merges runs and
+// the expectation is exact.
+CaseResult run_vis(const CaseSpec& spec, const PlanParams& plan_params) {
+  CaseResult res;
+  trace::Tracer tracer(std::size_t{1} << 18);
+  sim::Engine engine;
+  gas::Runtime rt(engine, base_config(spec, &tracer));
+  FaultPlan plan(plan_params);
+  plan.install(rt);
+
+  constexpr std::size_t kSlab = 256;  // u64 words per rank's slab
+  constexpr std::size_t kSlice = 32;  // per-source slice of every slab
+  constexpr std::size_t kSub = 10;    // per-op sub-slice within the slice
+
+  util::SplitMix64 sm(spec.seed ^ 0x0715DEEDULL);
+
+  std::vector<gas::GlobalPtr<std::uint64_t>> slab(
+      static_cast<std::size_t>(kFuzzThreads));
+  std::vector<std::vector<std::uint64_t>> mirror(
+      static_cast<std::size_t>(kFuzzThreads),
+      std::vector<std::uint64_t>(kSlab, 0));
+  for (int r = 0; r < kFuzzThreads; ++r) {
+    slab[static_cast<std::size_t>(r)] =
+        rt.heap().alloc<std::uint64_t>(r, kSlab);
+    for (std::size_t i = 0; i < kSlab; ++i) {
+      slab[static_cast<std::size_t>(r)].raw[i] = 0;
+    }
+  }
+
+  struct VisOp {
+    int peer = 0;
+    bool indexed = false;
+    std::size_t base = 0;  // element offset into the peer's slab
+    gas::StridedSpec sspec;
+    gas::IndexedSpec ispec;
+    std::vector<std::uint64_t> values;  // puts only: the source payload
+
+    [[nodiscard]] std::size_t regions() const {
+      return indexed ? ispec.regions.size() : sspec.regions();
+    }
+    [[nodiscard]] std::size_t elems() const {
+      return indexed ? ispec.elems() : sspec.elems();
+    }
+    // Walk the footprint in spec order, calling f(slab_element_index).
+    void for_each_elem(const std::function<void(std::size_t)>& f) const {
+      if (indexed) {
+        for (const gas::IndexedSpec::Region& g : ispec.regions) {
+          for (std::size_t l = 0; l < g.len; ++l) f(base + g.offset + l);
+        }
+      } else {
+        for (std::size_t j = 0; j < sspec.extents[1]; ++j) {
+          for (std::size_t l = 0; l < sspec.extents[0]; ++l) {
+            f(base + j * sspec.strides[1] + l);
+          }
+        }
+      }
+    }
+  };
+
+  const auto draw_shape = [&sm](VisOp& op, std::size_t budget) {
+    op.indexed = sm.next() % 2 == 1;
+    if (op.indexed) {
+      const std::size_t k = 2 + sm.next() % 2;  // 2..3 regions
+      std::size_t off = 0;
+      for (std::size_t g = 0; g < k; ++g) {
+        const std::size_t len = 1 + sm.next() % 2;  // 1..2 elements
+        op.ispec.regions.push_back({off, len});
+        off += len + 1;  // the gap keeps regions from merging
+      }
+    } else {
+      const std::size_t len = 1 + sm.next() % 2;  // 1..2 elements per run
+      const std::size_t n = 2 + sm.next() % 2;    // 2..3 runs
+      op.sspec = gas::StridedSpec::rows(len, n, len + 1);  // stride > len
+    }
+    // Worst-case span is 9 elements; every shape must fit its budget.
+    const std::size_t span =
+        op.indexed ? op.ispec.regions.back().offset + op.ispec.regions.back().len
+                   : (op.sspec.extents[1] - 1) * op.sspec.strides[1] +
+                         op.sspec.extents[0];
+    (void)budget;
+    assert(span <= budget);
+  };
+
+  VisExpectation expect;
+  const auto note_expected = [&](const VisOp& op, int from) {
+    if (rt.node_of(op.peer) == rt.node_of(from)) return;  // shm/loopback
+    if (op.regions() < 2) return;  // plain transfer, no vis accounting
+    ++expect.messages;
+    expect.regions += static_cast<std::uint64_t>(op.regions());
+    expect.payload_bytes +=
+        static_cast<double>(op.elems()) * sizeof(std::uint64_t);
+  };
+
+  // Phase-1 schedule: per-rank puts into the rank's own slice of each
+  // peer's slab, one sub-slice per op so footprints never overlap.
+  std::vector<std::vector<VisOp>> puts(static_cast<std::size_t>(kFuzzThreads));
+  for (int r = 0; r < kFuzzThreads; ++r) {
+    const int nops = 2 + static_cast<int>(sm.next() % 2);  // 2..3 ops
+    for (int i = 0; i < nops; ++i) {
+      VisOp op;
+      op.peer = static_cast<int>(
+          sm.next() % static_cast<std::uint64_t>(kFuzzThreads - 1));
+      if (op.peer >= r) ++op.peer;
+      op.base = static_cast<std::size_t>(r) * kSlice +
+                static_cast<std::size_t>(i) * kSub;
+      draw_shape(op, kSub);
+      op.values.resize(op.elems());
+      for (std::uint64_t& v : op.values) v = sm.next();
+      std::size_t idx = 0;
+      op.for_each_elem([&](std::size_t e) {
+        mirror[static_cast<std::size_t>(op.peer)][e] = op.values[idx++];
+      });
+      note_expected(op, r);
+      puts[static_cast<std::size_t>(r)].push_back(std::move(op));
+    }
+  }
+
+  // Phase-2 schedule: gathers over arbitrary slab windows (the mirror is
+  // complete, so expected checksums fold host-side in the same order).
+  constexpr std::uint64_t kBasis = 1469598103934665603ULL;  // FNV-1a
+  const auto fold = [](std::uint64_t h, std::uint64_t v) {
+    return (h ^ v) * 1099511628211ULL;
+  };
+  std::vector<std::vector<VisOp>> gets(static_cast<std::size_t>(kFuzzThreads));
+  std::vector<std::uint64_t> want_chk(static_cast<std::size_t>(kFuzzThreads),
+                                      kBasis);
+  for (int r = 0; r < kFuzzThreads; ++r) {
+    const int nops = 1 + static_cast<int>(sm.next() % 2);  // 1..2 ops
+    for (int i = 0; i < nops; ++i) {
+      VisOp op;
+      op.peer = static_cast<int>(
+          sm.next() % static_cast<std::uint64_t>(kFuzzThreads - 1));
+      if (op.peer >= r) ++op.peer;
+      draw_shape(op, kSub);
+      op.base = sm.next() % (kSlab - kSub);
+      op.for_each_elem([&](std::size_t e) {
+        auto& h = want_chk[static_cast<std::size_t>(r)];
+        h = fold(h, mirror[static_cast<std::size_t>(op.peer)][e]);
+      });
+      note_expected(op, r);
+      gets[static_cast<std::size_t>(r)].push_back(std::move(op));
+    }
+  }
+
+  std::vector<std::uint64_t> got_chk(static_cast<std::size_t>(kFuzzThreads),
+                                     kBasis);
+  rt.spmd([&](gas::Thread& t) -> sim::Task<void> {
+    const int r = t.rank();
+    for (const VisOp& op : puts[static_cast<std::size_t>(r)]) {
+      gas::GlobalPtr<std::uint64_t> dst{
+          op.peer, slab[static_cast<std::size_t>(op.peer)].raw + op.base};
+      if (op.indexed) {
+        co_await t.copy_irregular(dst, op.ispec, op.values.data());
+      } else {
+        co_await t.copy_strided(dst, op.sspec, op.values.data());
+      }
+    }
+    co_await t.barrier();
+    for (const VisOp& op : gets[static_cast<std::size_t>(r)]) {
+      std::vector<std::uint64_t> buf(op.elems());
+      gas::GlobalPtr<std::uint64_t> src{
+          op.peer, slab[static_cast<std::size_t>(op.peer)].raw + op.base};
+      if (op.indexed) {
+        co_await t.copy_irregular(buf.data(), src, op.ispec);
+      } else {
+        co_await t.copy_strided(buf.data(), src, op.sspec);
+      }
+      auto& h = got_chk[static_cast<std::size_t>(r)];
+      for (std::uint64_t v : buf) h = fold(h, v);
+    }
+    co_await t.barrier();
+  });
+  try {
+    rt.run_to_completion();
+  } catch (const std::exception& e) {
+    res.violations.push_back(std::string("vis: exception: ") + e.what());
+    finish(res, tracer, engine, plan);
+    return res;
+  }
+
+  for (int r = 0; r < kFuzzThreads; ++r) {
+    const auto rr = static_cast<std::size_t>(r);
+    for (std::size_t i = 0; i < kSlab; ++i) {
+      if (slab[rr].raw[i] != mirror[rr][i]) {
+        res.violations.push_back(
+            "vis oracle: rank " + std::to_string(r) + " slab[" +
+            std::to_string(i) + "] = " + std::to_string(slab[rr].raw[i]) +
+            " != mirror " + std::to_string(mirror[rr][i]));
+        break;  // one divergence per rank keeps the report readable
+      }
+    }
+    if (got_chk[rr] != want_chk[rr]) {
+      res.violations.push_back("vis oracle: rank " + std::to_string(r) +
+                               " gather checksum " +
+                               std::to_string(got_chk[rr]) + " != expected " +
+                               std::to_string(want_chk[rr]));
+    }
+  }
+  check_vis_conservation(rt, expect, effective(tracer), res.violations);
+  check_byte_conservation(rt, res.violations);
+  check_trace_network(effective(tracer), rt, res.violations);
+  check_virtual_time(engine, res.violations);
+  finish(res, tracer, engine, plan);
+  return res;
+}
+
 }  // namespace
 
 std::string CaseSpec::replay_command() const {
@@ -687,9 +905,10 @@ CaseSpec derive_case(std::uint64_t case_seed,
   CaseSpec spec;
   spec.seed = case_seed;
   // uts is weighted 2x: it exercises the most seams (steal + net + engine).
-  static const char* const kWorkloads[] = {"uts",    "uts",   "ft", "barrier",
-                                           "gather", "async", "teams"};
-  spec.workload = kWorkloads[sm.next() % 7];
+  static const char* const kWorkloads[] = {"uts",    "uts",   "ft",
+                                           "barrier", "gather", "async",
+                                           "teams",  "vis"};
+  spec.workload = kWorkloads[sm.next() % 8];
   spec.backend = sm.next() % 2 == 0 ? "processes" : "pthreads";
   static const char* const kConduits[] = {"ib-qdr", "ib-ddr", "gige"};
   spec.conduit = kConduits[sm.next() % 3];
@@ -706,6 +925,7 @@ CaseResult run_case(const CaseSpec& spec, const PlanParams& plan) {
   if (spec.workload == "gather") return run_gather(spec, plan);
   if (spec.workload == "async") return run_async(spec, plan);
   if (spec.workload == "teams") return run_teams(spec, plan);
+  if (spec.workload == "vis") return run_vis(spec, plan);
   return run_uts(spec, plan);
 }
 

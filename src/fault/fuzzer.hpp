@@ -19,7 +19,11 @@
 //             read-your-writes after future resolution);
 //   teams   — overlapping collective teams running seeded (op, algorithm)
 //             sequences vs. a host-side oracle (team agreement, per-(team,
-//             op) matching, gas.coll.* counter conservation).
+//             op) matching, gas.coll.* counter conservation);
+//   vis     — randomized strided/indexed gathers and scatters vs. a
+//             host-side mirror oracle (bit-identical data, packed-message /
+//             region / payload-byte conservation via
+//             check_vis_conservation).
 #pragma once
 
 #include <cstdint>
@@ -42,7 +46,8 @@ struct FuzzOptions {
   std::vector<std::string> templates = {"jitter",      "latency-spike",
                                         "bw-dip",      "blackout",
                                         "steal-storm", "completion-storm",
-                                        "team-storm",  "mixed"};
+                                        "team-storm",  "vis-storm",
+                                        "mixed"};
   /// Plant the test-only steal-split off-by-one (UTS cases only): the sweep
   /// must then find a conservation violation — how the fuzzer's own
   /// detection power is regression-tested.
@@ -55,7 +60,7 @@ struct FuzzOptions {
 struct CaseSpec {
   std::uint64_t seed = 0;
   std::string workload;  // "uts" | "ft" | "barrier" | "gather" | "async" |
-                         // "teams"
+                         // "teams" | "vis"
   std::string backend;   // "processes" | "pthreads"
   std::string conduit;   // "ib-qdr" | "ib-ddr" | "gige"
   std::string plan;      // template name

@@ -140,6 +140,58 @@ void check_async_ordering(const std::vector<AsyncOpRecord>& ops,
   }
 }
 
+void check_vis_conservation(gas::Runtime& rt, const VisExpectation& expected,
+                            const trace::Tracer* tracer, Violations& out) {
+  auto& net = rt.network();
+  const std::uint64_t msgs = net.total_vis_messages();
+  if (msgs != expected.messages) {
+    out.push_back("vis conservation: packed messages " + std::to_string(msgs) +
+                  " != expected " + std::to_string(expected.messages));
+  }
+  if (net.total_vis_regions() != expected.regions) {
+    out.push_back("vis conservation: packed regions " +
+                  std::to_string(net.total_vis_regions()) + " != expected " +
+                  std::to_string(expected.regions));
+  }
+  const double payload = net.total_vis_payload_bytes();
+  const double tol = 1e-6 * (expected.payload_bytes + 1.0);
+  if (std::abs(payload - expected.payload_bytes) > tol) {
+    out.push_back("vis conservation: payload " + std::to_string(payload) +
+                  " != sum of oracle region bytes " +
+                  std::to_string(expected.payload_bytes));
+  }
+  if (net.total_vis_bytes() + tol < payload) {
+    out.push_back("vis conservation: gross wire bytes " +
+                  std::to_string(net.total_vis_bytes()) +
+                  " < payload " + std::to_string(payload) +
+                  " (negative header overhead)");
+  }
+  if (tracer == nullptr) return;
+  const std::uint64_t traced_msgs = tracer->counter_total("net.vis.msg");
+  if (traced_msgs != msgs) {
+    out.push_back("trace cross-check: net.vis.msg " +
+                  std::to_string(traced_msgs) + " != network vis messages " +
+                  std::to_string(msgs));
+  }
+  const std::uint64_t traced_regions =
+      tracer->counter_total("net.vis.regions");
+  if (traced_regions != net.total_vis_regions()) {
+    out.push_back("trace cross-check: net.vis.regions " +
+                  std::to_string(traced_regions) + " != network vis regions " +
+                  std::to_string(net.total_vis_regions()));
+  }
+  // net.vis.bytes counts each message's PAYLOAD, truncated to an integer
+  // (headers are a model charge, not traffic the descriptors asked for).
+  const double traced_bytes =
+      static_cast<double>(tracer->counter_total("net.vis.bytes"));
+  if (traced_bytes > payload + tol ||
+      payload - traced_bytes > static_cast<double>(msgs) + 1.0) {
+    out.push_back("trace cross-check: net.vis.bytes " +
+                  std::to_string(traced_bytes) + " inconsistent with payload " +
+                  std::to_string(payload));
+  }
+}
+
 void check_team_agreement(const std::vector<TeamOpRecord>& records,
                           std::uint64_t expected_coll_calls,
                           const trace::Tracer* tracer, Violations& out) {

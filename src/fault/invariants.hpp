@@ -87,6 +87,28 @@ struct AsyncOpRecord {
 void check_async_ordering(const std::vector<AsyncOpRecord>& ops,
                           const trace::Tracer* tracer, Violations& out);
 
+/// The host-side oracle's count of the packed VIS traffic a workload must
+/// have injected: how many packed messages (Transfer::regions > 1) crossed
+/// node boundaries, how many regions they carried in total, and the summed
+/// payload bytes of those regions (headers excluded). Faults may delay or
+/// throttle packed messages, never split, merge, lose, or inflate them.
+struct VisExpectation {
+  std::uint64_t messages = 0;
+  std::uint64_t regions = 0;
+  double payload_bytes = 0.0;
+};
+
+/// VIS footprint conservation: the network's packed-message accounting must
+/// match the oracle exactly — message and region counts are integers, and
+/// the payload must equal the sum of the oracle's region bytes (the ISSUE's
+/// "sum of region bytes equals transferred bytes"). Gross wire bytes can
+/// only exceed the payload (per-region headers are never negative). With a
+/// tracer attached, net.vis.msg / net.vis.regions must agree exactly and
+/// net.vis.bytes must match the payload within the per-message
+/// integer-truncation tolerance.
+void check_vis_conservation(gas::Runtime& rt, const VisExpectation& expected,
+                            const trace::Tracer* tracer, Violations& out);
+
 /// One team member's view of a finished team-collective workload: how many
 /// collective operations it completed on that team and the team digest it
 /// derived from the values the collectives delivered to it. The digest is

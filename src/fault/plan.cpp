@@ -178,7 +178,7 @@ const std::vector<std::string>& plan_template_names() {
       "none",        "jitter",         "latency-spike",
       "bw-dip",      "blackout",       "steal-storm",
       "spawn-throttle", "heap-pressure", "cache-storm",
-      "completion-storm", "team-storm",  "mixed"};
+      "completion-storm", "team-storm",  "vis-storm",  "mixed"};
   return names;
 }
 
@@ -254,6 +254,22 @@ PlanParams plan_template(const std::string& name, std::uint64_t seed) {
     p.blackout_duration_s = in(0.2e-3, 1.5e-3);
     return p;
   }
+  if (name == "vis-storm") {
+    // Packed-transfer stress: jitter + delivery delays reorder the region
+    // streams of concurrent strided/indexed transfers, bandwidth dips
+    // stretch the large packed messages (where a footprint-accounting bug
+    // would show as lost or double-counted regions), and cache-line drops
+    // force strided prefetches to refill mid-run. Counts and payloads must
+    // conserve through all of it.
+    p.event_jitter_p = in(0.05, 0.25);
+    p.event_jitter_max_s = in(1e-6, 6e-6);
+    p.msg_delay_p = in(0.10, 0.40);
+    p.msg_delay_max_s = in(10e-6, 120e-6);
+    p.msg_bw_degrade_p = in(0.10, 0.50);
+    p.msg_bw_floor = in(0.05, 0.40);
+    p.cache_invalidate_p = in(0.20, 0.80);
+    return p;
+  }
   if (name == "mixed") {
     p.event_jitter_p = in(0.05, 0.20);
     p.event_jitter_max_s = in(1e-6, 5e-6);
@@ -268,7 +284,7 @@ PlanParams plan_template(const std::string& name, std::uint64_t seed) {
       "fault::plan_template: unknown template \"" + name +
       "\" (known: none jitter latency-spike bw-dip blackout steal-storm "
       "spawn-throttle heap-pressure cache-storm completion-storm team-storm "
-      "mixed)");
+      "vis-storm mixed)");
 }
 
 }  // namespace hupc::fault

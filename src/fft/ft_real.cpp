@@ -8,8 +8,8 @@
 
 namespace hupc::fft {
 
-FtReal::FtReal(gas::Runtime& rt, FtParams grid, CommVariant variant)
-    : rt_(&rt), grid_(grid), variant_(variant) {
+FtReal::FtReal(gas::Runtime& rt, FtParams grid, CommVariant variant, bool vis)
+    : rt_(&rt), grid_(grid), variant_(variant), vis_(vis) {
   const int T = rt.threads();
   if (grid_.nz % T != 0 || grid_.nx % T != 0) {
     throw std::invalid_argument("FtReal: NX and NZ must divide by THREADS");
@@ -70,6 +70,15 @@ sim::Task<void> FtReal::run(gas::Thread& self) {
       Complex* dst_base = out_[static_cast<std::size_t>(p)].raw;
       const Complex* src_rows =
           slab + zl * plane + static_cast<std::size_t>(p) * px_ * ny;
+      if (vis_) {
+        // VIS exchange: the peer's px_ destination rows (strided by nz*ny
+        // per x) move as ONE packed strided message per peer per plane.
+        gas::GlobalPtr<Complex> dst{p, dst_base + z * ny};
+        pending.push_back(self.copy_strided_async(
+            dst, gas::StridedSpec::rows(ny, static_cast<std::size_t>(px_), nz * ny),
+            src_rows));
+        continue;
+      }
       // Destination rows are strided by nz*ny per x; one copy per x-row.
       for (int xl = 0; xl < px_; ++xl) {
         gas::GlobalPtr<Complex> dst{

@@ -23,7 +23,12 @@ namespace hupc::fft {
 
 class FtReal {
  public:
-  FtReal(gas::Runtime& rt, FtParams grid, CommVariant variant);
+  /// `vis` routes the all-to-all transpose exchange through the VIS
+  /// descriptor API: ONE strided message per peer per plane instead of
+  /// one contiguous copy per x-row. Off (the default) preserves the
+  /// pre-VIS per-row exchange bit for bit.
+  FtReal(gas::Runtime& rt, FtParams grid, CommVariant variant,
+         bool vis = false);
 
   /// Deterministically fill rank `r`'s slab (call before run).
   void fill_input(std::uint64_t seed);
@@ -44,6 +49,7 @@ class FtReal {
   gas::Runtime* rt_;
   FtParams grid_;
   CommVariant variant_;
+  bool vis_;
   int pz_, px_;  // planes / x-rows per rank
   // in_[r]:  rank r's z-slab, [z_local][x][y];
   // out_[r]: rank r's x-slab after exchange, [x_local][z][y].

@@ -8,3 +8,4 @@
 #include "gas/heap.hpp"          // IWYU pragma: export
 #include "gas/lock.hpp"          // IWYU pragma: export
 #include "gas/runtime.hpp"       // IWYU pragma: export
+#include "gas/vis.hpp"           // IWYU pragma: export

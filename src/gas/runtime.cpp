@@ -76,6 +76,7 @@ Config validated(Config config) {
       {"loopback_overhead_s", c.loopback_overhead_s},
       {"barrier_hop_s", c.barrier_hop_s},
       {"lock_local_s", c.lock_local_s},
+      {"vis_region_header_bytes", c.vis_region_header_bytes},
   };
   for (const auto& [name, value] : costs) {
     if (value < 0.0) {
@@ -488,13 +489,20 @@ sim::Task<void> Thread::copy_raw_from(topo::HwLoc at, int peer, void* dst,
   if (bytes == 0) co_return;
   HUPC_TRACE_SCOPE(rt_->tracer(), trace::Category::gas, "copy", rank_, bytes,
                    static_cast<std::uint64_t>(peer));
-  const double b = static_cast<double>(bytes);
+  co_await lower_transfer(at, peer, static_cast<double>(bytes), 1);
+}
+
+sim::Task<void> Thread::lower_transfer(topo::HwLoc at, int peer,
+                                       double payload, std::uint64_t regions) {
+  const double b = payload;
   const topo::HwLoc peer_loc = rt_->loc_of(peer);
   const auto& costs = rt_->config().costs;
 
   if (peer == rank_ || rt_->same_supernode(rank_, peer)) {
     // Plain load/store path: per-call software overhead + both memory
-    // systems carry the bytes (read side and write side).
+    // systems carry the bytes (read side and write side). Packing is a
+    // wire concept — load/store moves each region at memory cost, so
+    // `regions` adds nothing here.
     HUPC_TRACE_COUNT(rt_->tracer(), "gas.copy.shm", rank_);
     co_await sim::delay(rt_->engine(),
                         sim::from_seconds(costs.shm_copy_overhead_s));
@@ -519,6 +527,20 @@ sim::Task<void> Thread::copy_raw_from(topo::HwLoc at, int peer, void* dst,
                                      costs.loopback_bw);
     co_await src_mem.wait();
     co_await dst_mem.wait();
+  } else if (regions > 1) {
+    // Packed VIS message: ONE injection carries every region plus a
+    // per-region metadata header (address + length on the wire); the
+    // footprint fields let the network and trace distinguish 1 x 64 KiB
+    // from 4096 x 16 B.
+    HUPC_TRACE_COUNT(rt_->tracer(), "gas.copy.rma", rank_);
+    const double gross =
+        b + static_cast<double>(regions) * costs.vis_region_header_bytes;
+    co_await rt_->network().rma({.src_node = at.node,
+                                 .src_ep = rt_->endpoint_of(rank_),
+                                 .dst_node = peer_loc.node,
+                                 .bytes = gross,
+                                 .regions = regions,
+                                 .payload_bytes = b});
   } else {
     HUPC_TRACE_COUNT(rt_->tracer(), "gas.copy.rma", rank_);
     co_await rt_->network().rma({.src_node = at.node,
@@ -526,6 +548,91 @@ sim::Task<void> Thread::copy_raw_from(topo::HwLoc at, int peer, void* dst,
                                  .dst_node = peer_loc.node,
                                  .bytes = b});
   }
+}
+
+void Thread::note_vis_store(int owner, const void* base,
+                            const std::vector<net::Region>& regions) noexcept {
+  if (!caching_ || base == nullptr) return;
+  const auto* b = static_cast<const std::byte*>(base);
+  for (const net::Region& r : regions) {
+    if (r.bytes != 0) note_shared_store(owner, b + r.dst_off, r.bytes);
+  }
+}
+
+sim::Task<void> Thread::copy_vis(int dst_owner, void* dst_base, int src_owner,
+                                 const void* src_base,
+                                 std::vector<net::Region> regions) {
+  // Peer rule mirrors copy(): shared<->shared charges the remote party,
+  // one-sided shapes charge the shared side.
+  int peer = rank_;
+  if (dst_owner >= 0 && src_owner >= 0) {
+    peer = dst_owner == rank_ ? src_owner : dst_owner;
+  } else if (dst_owner >= 0) {
+    peer = dst_owner;
+  } else if (src_owner >= 0) {
+    peer = src_owner;
+  }
+
+  // Remote strided/indexed PUT inside a coalescing epoch: the regions pack
+  // into the destination node's epoch buffer (values captured now, applied
+  // and charged at flush) — the descriptor rides the aggregation machinery
+  // region by region instead of forcing a fence like bulk copy() does.
+  if (coalescing_ && dst_owner >= 0 && src_owner < 0 &&
+      remote_node(dst_owner)) {
+    note_vis_store(dst_owner, dst_base, regions);
+    co_await coalescer_->put_regions(rt_->node_of(dst_owner), dst_base,
+                                     src_base, regions.data(), regions.size());
+    co_return;
+  }
+  if (coalescing_) {
+    // Same fence as bulk copy(): order after earlier buffered puts to the
+    // peer's node (and observe them — flush applies before the memcpy).
+    co_await coalescer_->flush(rt_->node_of(peer), comm::FlushCause::fence);
+  }
+  // Precise own-write coherence, unlike bulk copy()'s drop-everything: a
+  // packed store invalidates exactly the lines its regions cover — the
+  // gaps a stride skips stay cached. GETs invalidate nothing.
+  if (dst_owner >= 0) note_vis_store(dst_owner, dst_base, regions);
+
+  // The real data moves region by region, unconditionally.
+  if (dst_base != nullptr && src_base != nullptr) {
+    auto* d = static_cast<std::byte*>(dst_base);
+    const auto* s = static_cast<const std::byte*>(src_base);
+    for (const net::Region& r : regions) {
+      if (r.bytes != 0) std::memcpy(d + r.dst_off, s + r.src_off, r.bytes);
+    }
+  }
+  const std::size_t payload = vis::payload_bytes(regions);
+  if (payload == 0) co_return;
+  HUPC_TRACE_SCOPE(rt_->tracer(), trace::Category::gas, "copy.vis", rank_,
+                   payload, static_cast<std::uint64_t>(peer));
+  HUPC_TRACE_COUNT(rt_->tracer(), "gas.vis.msg", rank_);
+  HUPC_TRACE_COUNT(rt_->tracer(), "gas.vis.regions", rank_,
+                   static_cast<std::uint64_t>(regions.size()));
+  HUPC_TRACE_COUNT(rt_->tracer(), "gas.vis.bytes", rank_,
+                   static_cast<std::uint64_t>(payload));
+
+  // Remote strided/indexed GET inside a read-cache epoch: the footprint is
+  // known at region granularity, so prefetch every line it touches with
+  // ONE packed fill and read the values at local cost.
+  if (caching_ && dst_owner < 0 && src_owner >= 0 && remote_node(src_owner)) {
+    const std::int64_t off0 = rt_->heap().offset_of(src_owner, src_base);
+    if (off0 >= 0) {
+      std::vector<comm::ReadCache::Range> ranges;
+      ranges.reserve(regions.size());
+      for (const net::Region& r : regions) {
+        ranges.push_back(comm::ReadCache::Range{
+            off0 + static_cast<std::int64_t>(r.src_off), r.bytes});
+      }
+      co_await read_cache_->prefetch(src_owner, rt_->node_of(src_owner),
+                                     ranges.data(), ranges.size());
+      co_await rt_->memory().stream(loc_, loc_, static_cast<double>(payload));
+      co_return;
+    }
+    read_cache_->count_bypass();
+  }
+  co_await lower_transfer(loc_, peer, static_cast<double>(payload),
+                          static_cast<std::uint64_t>(regions.size()));
 }
 
 }  // namespace hupc::gas

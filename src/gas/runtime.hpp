@@ -16,7 +16,9 @@
 // Data movement funnels through two unified entry points:
 //   Thread::copy / copy_async  — bulk transfers over every shape
 //     (private<->shared, shared<->shared); the upc_mem{put,get,cpy} names
-//     survive as thin wrappers;
+//     survive as thin wrappers; copy_strided / copy_irregular take VIS
+//     descriptors (gas::StridedSpec / gas::IndexedSpec) and move a whole
+//     non-contiguous footprint as ONE packed message (DESIGN.md §15);
 //   fine-grained get/put/AMOs  — one shared-API round trip each, UNLESS a
 //     coalescing epoch is open (Thread::begin_coalesce/end_coalesce or the
 //     CoalesceEpoch RAII guard), in which case remote accesses aggregate
@@ -34,10 +36,12 @@
 #pragma once
 
 #include <cassert>
+#include <concepts>
 #include <cstdint>
 #include <cstring>
 #include <functional>
 #include <memory>
+#include <type_traits>
 #include <vector>
 
 #include "async/future.hpp"
@@ -46,6 +50,7 @@
 #include "fault/hooks.hpp"
 #include "gas/global_ptr.hpp"
 #include "gas/heap.hpp"
+#include "gas/vis.hpp"
 #include "mem/memory_system.hpp"
 #include "net/conduit.hpp"
 #include "net/network.hpp"
@@ -57,6 +62,12 @@
 namespace hupc::gas {
 
 enum class Backend { processes, pthreads };
+
+/// Const-normalization for shared-source copy overloads: one template
+/// covers GlobalPtr<T> and GlobalPtr<const T> instead of the duplicate
+/// overload pairs the copy() surface used to ship per shape.
+template <class U, class T>
+concept SourceElement = std::same_as<std::remove_const_t<U>, T>;
 
 /// Software-cost constants (calibration targets in DESIGN.md §6).
 struct CostParams {
@@ -76,6 +87,12 @@ struct CostParams {
   double barrier_hop_s = 0.3e-6;
   /// Local lock acquire/release software cost.
   double lock_local_s = 0.15e-6;
+  /// Modeled per-region metadata header of a packed VIS message (address +
+  /// length per packed region, like the coalescer's per-op headers).
+  /// Charged only when a descriptor lowers to MORE than one region — a
+  /// single-region transfer is a plain RMA and stays bit-identical to the
+  /// pre-descriptor contiguous copy() path.
+  double vis_region_header_bytes = 8.0;
 };
 
 struct Config {
@@ -259,7 +276,11 @@ class Thread {
   // --- unified bulk data movement (upc_mem{put,get,cpy} analogues) ------
   /// One overload set covers every bulk shape; inside a coalescing epoch
   /// the destination's buffer is fenced first, keeping bulk transfers
-  /// ordered after earlier buffered puts to the same node.
+  /// ordered after earlier buffered puts to the same node. Shared sources
+  /// const-normalize through a single SourceElement template per shape —
+  /// GlobalPtr<T> and GlobalPtr<const T> take the same route — and every
+  /// shape bottoms out in the one lower_transfer() lowering into
+  /// net::Transfer that the VIS descriptors below also use.
   /// Private -> shared (upc_memput).
   template <class T>
   [[nodiscard]] sim::Task<void> copy(GlobalPtr<T> dst, const T* src,
@@ -267,27 +288,19 @@ class Thread {
     co_await copy_raw(dst.owner, dst.raw, src, count * sizeof(T));
   }
   /// Shared -> private (upc_memget).
-  template <class T>
-  [[nodiscard]] sim::Task<void> copy(T* dst, GlobalPtr<const T> src,
+  template <class T, class U>
+    requires SourceElement<U, T>
+  [[nodiscard]] sim::Task<void> copy(T* dst, GlobalPtr<U> src,
                                      std::size_t count) {
     co_await copy_raw(src.owner, dst, src.raw, count * sizeof(T));
   }
-  template <class T>
-  [[nodiscard]] sim::Task<void> copy(T* dst, GlobalPtr<T> src,
-                                     std::size_t count) {
-    co_await copy(dst, to_const(src), count);
-  }
   /// Shared -> shared (upc_memcpy): charged against the remote party.
-  template <class T>
-  [[nodiscard]] sim::Task<void> copy(GlobalPtr<T> dst, GlobalPtr<const T> src,
+  template <class T, class U>
+    requires SourceElement<U, T>
+  [[nodiscard]] sim::Task<void> copy(GlobalPtr<T> dst, GlobalPtr<U> src,
                                      std::size_t count) {
     const int peer = dst.owner == rank_ ? src.owner : dst.owner;
     co_await copy_raw(peer, dst.raw, src.raw, count * sizeof(T));
-  }
-  template <class T>
-  [[nodiscard]] sim::Task<void> copy(GlobalPtr<T> dst, GlobalPtr<T> src,
-                                     std::size_t count) {
-    co_await copy(dst, to_const(src), count);
   }
 
   // Non-blocking forms returning chainable futures (upc_mem*_async /
@@ -309,22 +322,157 @@ class Thread {
     if (caching_) note_shared_store(dst.owner, dst.raw, count * sizeof(T));
     return launch_async(copy(dst, src, count));
   }
-  template <class T>
-  [[nodiscard]] async::future<> copy_async(T* dst, GlobalPtr<const T> src,
+  template <class T, class U>
+    requires SourceElement<U, T>
+  [[nodiscard]] async::future<> copy_async(T* dst, GlobalPtr<U> src,
                                            std::size_t count) {
     return launch_async(copy(dst, src, count));
   }
-  template <class T>
-  [[nodiscard]] async::future<> copy_async(T* dst, GlobalPtr<T> src,
-                                           std::size_t count) {
-    return launch_async(copy(dst, src, count));
-  }
-  template <class T>
-  [[nodiscard]] async::future<> copy_async(GlobalPtr<T> dst,
-                                           GlobalPtr<const T> src,
+  template <class T, class U>
+    requires SourceElement<U, T>
+  [[nodiscard]] async::future<> copy_async(GlobalPtr<T> dst, GlobalPtr<U> src,
                                            std::size_t count) {
     if (caching_) note_shared_store(dst.owner, dst.raw, count * sizeof(T));
     return launch_async(copy(dst, src, count));
+  }
+
+  // --- non-contiguous data movement (VIS: upc_mem*_strided / _ilist
+  // analogues; descriptors in gas/vis.hpp, lowering rules DESIGN.md §15) -
+  /// Every form lowers its descriptors EAGERLY at the call site into a
+  /// packed region list (validation — overlapping destination regions,
+  /// element-count mismatch, bad dims — throws std::invalid_argument here,
+  /// not inside a spawned coroutine) and funnels through one non-template
+  /// route (copy_vis): the regions move as ONE message whose footprint
+  /// (region count, payload vs gross bytes) the network accounts and the
+  /// trace exposes. Inside a coalescing epoch a remote strided/indexed PUT
+  /// packs region-by-region into the destination's epoch buffer instead;
+  /// inside a read-cache epoch a remote GET prefetches every line its
+  /// footprint touches with one packed fill, and a packed PUT invalidates
+  /// exactly the lines its regions cover. A descriptor lowering to a
+  /// single region (1-D, or stride == extent) is bit-identical to the
+  /// contiguous copy() of the same bytes.
+  /// Strided put, contiguous private source (upc_memput_fstrided).
+  template <class T>
+  [[nodiscard]] sim::Task<void> copy_strided(GlobalPtr<T> dst,
+                                             const StridedSpec& dspec,
+                                             const T* src) {
+    return copy_strided(dst, dspec, src,
+                        StridedSpec::contiguous(dspec.elems()));
+  }
+  /// Strided put, both sides described (upc_memput_strided).
+  template <class T>
+  [[nodiscard]] sim::Task<void> copy_strided(GlobalPtr<T> dst,
+                                             const StridedSpec& dspec,
+                                             const T* src,
+                                             const StridedSpec& sspec) {
+    return copy_vis(dst.owner, dst.raw, -1, src,
+                    vis::lower(dspec, sspec, sizeof(T)));
+  }
+  /// Strided get into a contiguous private buffer (upc_memget_fstrided).
+  template <class T, class U>
+    requires SourceElement<U, T>
+  [[nodiscard]] sim::Task<void> copy_strided(T* dst, GlobalPtr<U> src,
+                                             const StridedSpec& sspec) {
+    return copy_strided(dst, StridedSpec::contiguous(sspec.elems()), src,
+                        sspec);
+  }
+  /// Strided get, both sides described (upc_memget_strided).
+  template <class T, class U>
+    requires SourceElement<U, T>
+  [[nodiscard]] sim::Task<void> copy_strided(T* dst, const StridedSpec& dspec,
+                                             GlobalPtr<U> src,
+                                             const StridedSpec& sspec) {
+    return copy_vis(-1, dst, src.owner, src.raw,
+                    vis::lower(dspec, sspec, sizeof(T)));
+  }
+  /// Strided shared -> shared (upc_memcpy_strided).
+  template <class T, class U>
+    requires SourceElement<U, T>
+  [[nodiscard]] sim::Task<void> copy_strided(GlobalPtr<T> dst,
+                                             const StridedSpec& dspec,
+                                             GlobalPtr<U> src,
+                                             const StridedSpec& sspec) {
+    return copy_vis(dst.owner, dst.raw, src.owner, src.raw,
+                    vis::lower(dspec, sspec, sizeof(T)));
+  }
+  /// Indexed scatter: contiguous private source -> shared region list
+  /// (upc_memput_ilist). Overlapping destination regions are rejected.
+  template <class T>
+  [[nodiscard]] sim::Task<void> copy_irregular(GlobalPtr<T> dst,
+                                               const IndexedSpec& dspec,
+                                               const T* src) {
+    return copy_vis(
+        dst.owner, dst.raw, -1, src,
+        vis::lower(dspec, StridedSpec::contiguous(dspec.elems()), sizeof(T)));
+  }
+  /// Indexed gather: shared region list -> contiguous private buffer
+  /// (upc_memget_ilist).
+  template <class T, class U>
+    requires SourceElement<U, T>
+  [[nodiscard]] sim::Task<void> copy_irregular(T* dst, GlobalPtr<U> src,
+                                               const IndexedSpec& sspec) {
+    return copy_vis(
+        -1, dst, src.owner, src.raw,
+        vis::lower(StridedSpec::contiguous(sspec.elems()), sspec, sizeof(T)));
+  }
+
+  // Non-blocking VIS forms. Same eager lowering (validation throws at
+  // issue time); a shared DESTINATION drops its covered cache lines at
+  // issue, region by region — the copy_async issue-time coherence
+  // contract extended to packed footprints.
+  template <class T>
+  [[nodiscard]] async::future<> copy_strided_async(GlobalPtr<T> dst,
+                                                   const StridedSpec& dspec,
+                                                   const T* src) {
+    return copy_strided_async(dst, dspec, src,
+                              StridedSpec::contiguous(dspec.elems()));
+  }
+  template <class T>
+  [[nodiscard]] async::future<> copy_strided_async(GlobalPtr<T> dst,
+                                                   const StridedSpec& dspec,
+                                                   const T* src,
+                                                   const StridedSpec& sspec) {
+    auto regions = vis::lower(dspec, sspec, sizeof(T));
+    if (caching_) note_vis_store(dst.owner, dst.raw, regions);
+    return launch_async(
+        copy_vis(dst.owner, dst.raw, -1, src, std::move(regions)));
+  }
+  template <class T, class U>
+    requires SourceElement<U, T>
+  [[nodiscard]] async::future<> copy_strided_async(T* dst, GlobalPtr<U> src,
+                                                   const StridedSpec& sspec) {
+    return launch_async(copy_vis(
+        -1, dst, src.owner, src.raw,
+        vis::lower(StridedSpec::contiguous(sspec.elems()), sspec, sizeof(T))));
+  }
+  template <class T, class U>
+    requires SourceElement<U, T>
+  [[nodiscard]] async::future<> copy_strided_async(GlobalPtr<T> dst,
+                                                   const StridedSpec& dspec,
+                                                   GlobalPtr<U> src,
+                                                   const StridedSpec& sspec) {
+    auto regions = vis::lower(dspec, sspec, sizeof(T));
+    if (caching_) note_vis_store(dst.owner, dst.raw, regions);
+    return launch_async(
+        copy_vis(dst.owner, dst.raw, src.owner, src.raw, std::move(regions)));
+  }
+  template <class T>
+  [[nodiscard]] async::future<> copy_irregular_async(GlobalPtr<T> dst,
+                                                     const IndexedSpec& dspec,
+                                                     const T* src) {
+    auto regions =
+        vis::lower(dspec, StridedSpec::contiguous(dspec.elems()), sizeof(T));
+    if (caching_) note_vis_store(dst.owner, dst.raw, regions);
+    return launch_async(
+        copy_vis(dst.owner, dst.raw, -1, src, std::move(regions)));
+  }
+  template <class T, class U>
+    requires SourceElement<U, T>
+  [[nodiscard]] async::future<> copy_irregular_async(T* dst, GlobalPtr<U> src,
+                                                     const IndexedSpec& sspec) {
+    return launch_async(copy_vis(
+        -1, dst, src.owner, src.raw,
+        vis::lower(StridedSpec::contiguous(sspec.elems()), sspec, sizeof(T))));
   }
 
   // --- legacy bulk-copy names (thin wrappers over copy/copy_async) ------
@@ -333,19 +481,16 @@ class Thread {
                                        std::size_t count) {
     return copy(dst, src, count);
   }
-  template <class T>
-  [[nodiscard]] sim::Task<void> memget(T* dst, GlobalPtr<const T> src,
+  template <class T, class U>
+    requires SourceElement<U, T>
+  [[nodiscard]] sim::Task<void> memget(T* dst, GlobalPtr<U> src,
                                        std::size_t count) {
     return copy(dst, src, count);
   }
-  template <class T>
-  [[nodiscard]] sim::Task<void> memget(T* dst, GlobalPtr<T> src,
-                                       std::size_t count) {
-    return copy(dst, src, count);
-  }
-  template <class T>
+  template <class T, class U>
+    requires SourceElement<U, T>
   [[nodiscard]] sim::Task<void> memcpy_shared(GlobalPtr<T> dst,
-                                              GlobalPtr<const T> src,
+                                              GlobalPtr<U> src,
                                               std::size_t count) {
     return copy(dst, src, count);
   }
@@ -354,8 +499,9 @@ class Thread {
                                              std::size_t count) {
     return copy_async(dst, src, count);
   }
-  template <class T>
-  [[nodiscard]] async::future<> memget_async(T* dst, GlobalPtr<const T> src,
+  template <class T, class U>
+    requires SourceElement<U, T>
+  [[nodiscard]] async::future<> memget_async(T* dst, GlobalPtr<U> src,
                                              std::size_t count) {
     return copy_async(dst, src, count);
   }
@@ -426,6 +572,25 @@ class Thread {
   /// rank is making (host-side, free; no-op outside a cached epoch).
   void note_shared_store(int owner, const void* addr,
                          std::size_t bytes) noexcept;
+  /// note_shared_store region by region (packed VIS stores): only the
+  /// lines a region covers drop, not the gaps the stride skips.
+  void note_vis_store(int owner, const void* base,
+                      const std::vector<net::Region>& regions) noexcept;
+  /// The single route every VIS shape funnels into with its lowered region
+  /// list. owner < 0 marks a private (local) side; region offsets are byte
+  /// offsets from the respective base.
+  [[nodiscard]] sim::Task<void> copy_vis(int dst_owner, void* dst_base,
+                                         int src_owner, const void* src_base,
+                                         std::vector<net::Region> regions);
+  /// The one lowering into net::Transfer shared by contiguous copies and
+  /// packed VIS messages: charge `payload` bytes moving between this
+  /// thread and `peer` over the shm / loopback / rma path the topology
+  /// selects. `regions` > 1 marks a packed message: the rma gains
+  /// per-region header bytes and the vis footprint accounting; 1 is a
+  /// plain transfer, bit-identical to the pre-VIS path.
+  [[nodiscard]] sim::Task<void> lower_transfer(topo::HwLoc at, int peer,
+                                               double payload,
+                                               std::uint64_t regions);
   [[nodiscard]] bool remote_node(int owner) const;
 
   Runtime* rt_;

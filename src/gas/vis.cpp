@@ -1,0 +1,133 @@
+#include "gas/vis.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace hupc::gas::vis {
+
+namespace {
+
+void check_dims(const StridedSpec& spec) {
+  if (spec.dims < 1 || spec.dims > 3) {
+    throw std::invalid_argument("gas::StridedSpec: dims must be 1..3 (got " +
+                                std::to_string(spec.dims) + ")");
+  }
+}
+
+}  // namespace
+
+std::vector<Run> runs_of(const StridedSpec& spec) {
+  check_dims(spec);
+  std::vector<Run> out;
+  if (spec.elems() == 0) return out;
+  const std::size_t n1 = spec.dims >= 2 ? spec.extents[1] : 1;
+  const std::size_t n2 = spec.dims >= 3 ? spec.extents[2] : 1;
+  out.reserve(n1 * n2);
+  for (std::size_t i2 = 0; i2 < n2; ++i2) {
+    for (std::size_t i1 = 0; i1 < n1; ++i1) {
+      out.push_back(Run{i2 * spec.strides[2] + i1 * spec.strides[1],
+                        spec.extents[0]});
+    }
+  }
+  return out;
+}
+
+std::vector<Run> runs_of(const IndexedSpec& spec) {
+  std::vector<Run> out;
+  out.reserve(spec.regions.size());
+  for (const IndexedSpec::Region& r : spec.regions) {
+    if (r.len == 0) continue;
+    out.push_back(Run{r.offset, r.len});
+  }
+  return out;
+}
+
+void require_disjoint(const StridedSpec& spec, const char* what) {
+  check_dims(spec);
+  if (spec.extents[0] == 0) return;
+  // A rectangular footprint overlaps itself exactly when a level's stride
+  // is shorter than the span of the level below it (and that level
+  // actually repeats).
+  if (spec.dims >= 2 && spec.extents[1] > 1 &&
+      spec.strides[1] < spec.extents[0]) {
+    throw std::invalid_argument(
+        std::string("gas::StridedSpec: ") + what +
+        " regions overlap (strides[1] < extents[0])");
+  }
+  if (spec.dims >= 3 && spec.extents[2] > 1) {
+    const std::size_t plane_span =
+        spec.extents[1] > 0
+            ? spec.strides[1] * (spec.extents[1] - 1) + spec.extents[0]
+            : 0;
+    if (spec.strides[2] < plane_span) {
+      throw std::invalid_argument(
+          std::string("gas::StridedSpec: ") + what +
+          " regions overlap (strides[2] < plane span)");
+    }
+  }
+}
+
+void require_disjoint(const IndexedSpec& spec, const char* what) {
+  std::vector<Run> runs = runs_of(spec);
+  std::sort(runs.begin(), runs.end(),
+            [](const Run& a, const Run& b) { return a.offset < b.offset; });
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    if (runs[i - 1].offset + runs[i - 1].len > runs[i].offset) {
+      throw std::invalid_argument(
+          std::string("gas::IndexedSpec: ") + what +
+          " regions overlap (offsets " + std::to_string(runs[i - 1].offset) +
+          "+" + std::to_string(runs[i - 1].len) + " and " +
+          std::to_string(runs[i].offset) + ")");
+    }
+  }
+}
+
+std::vector<net::Region> pair_runs(const std::vector<Run>& dst,
+                                   const std::vector<Run>& src,
+                                   std::size_t elem_size) {
+  std::vector<net::Region> out;
+  std::size_t di = 0, si = 0;     // current run on each side
+  std::size_t dused = 0, sused = 0;  // elements consumed of the current run
+  while (di < dst.size() && si < src.size()) {
+    const std::size_t dleft = dst[di].len - dused;
+    const std::size_t sleft = src[si].len - sused;
+    const std::size_t take = std::min(dleft, sleft);
+    const std::size_t doff = (dst[di].offset + dused) * elem_size;
+    const std::size_t soff = (src[si].offset + sused) * elem_size;
+    const std::size_t bytes = take * elem_size;
+    // Merge runs that turn out adjacent on BOTH sides (stride == extent
+    // degenerates to contiguous), so the footprint reflects the real wire
+    // shape, not the spec's bookkeeping.
+    if (!out.empty() && out.back().dst_off + out.back().bytes == doff &&
+        out.back().src_off + out.back().bytes == soff) {
+      out.back().bytes += bytes;
+    } else {
+      out.push_back(net::Region{doff, soff, bytes});
+    }
+    dused += take;
+    sused += take;
+    if (dused == dst[di].len) {
+      ++di;
+      dused = 0;
+    }
+    if (sused == src[si].len) {
+      ++si;
+      sused = 0;
+    }
+  }
+  if (di < dst.size() || si < src.size()) {
+    throw std::invalid_argument(
+        "gas::vis: destination and source specs cover different element "
+        "counts");
+  }
+  return out;
+}
+
+std::size_t payload_bytes(const std::vector<net::Region>& regions) {
+  std::size_t total = 0;
+  for (const net::Region& r : regions) total += r.bytes;
+  return total;
+}
+
+}  // namespace hupc::gas::vis

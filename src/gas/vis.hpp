@@ -1,0 +1,139 @@
+// Non-contiguous transfer descriptors (VIS; DESIGN.md §15).
+//
+// The UPC++-style vector/indexed/strided shapes for one-sided bulk data
+// movement: a gas::StridedSpec describes a rectangular footprint (up to
+// 3-D, extents x strides in ELEMENTS of the transfer's value type), a
+// gas::IndexedSpec an arbitrary list of (offset, length) element regions.
+// gas::Thread::copy_strided / copy_irregular take one spec per side and
+// lower the pair into a flat list of byte-level net::Region runs — the
+// iovec-style pairing below — which the runtime then moves with ONE
+// net::Transfer whose footprint field (`regions`) tells the network model
+// to charge one injection per packed message instead of one per element.
+//
+// Contiguous copy() is the 1-region special case of the same route, so
+// there is a single lowering path into net::Transfer for every bulk shape.
+//
+// Validation throws std::invalid_argument (the CLI/tests pin the cases):
+// dims outside [1, 3], element-count mismatch between the two sides, and
+// PUT destinations whose regions overlap (last-writer would be pairing-
+// order-defined, which no caller should depend on). Zero-length regions
+// are legal everywhere and simply drop out of the lowering; a stride equal
+// to the extent makes adjacent regions contiguous and the pairing merges
+// them back into one run.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace hupc::gas {
+
+/// Rectangular strided footprint in ELEMENTS: `extents[0]` contiguous
+/// elements per innermost run, repeated `extents[1]` times `strides[1]`
+/// elements apart, the whole plane repeated `extents[2]` times `strides[2]`
+/// elements apart. dims selects how many levels are meaningful (1..3).
+struct StridedSpec {
+  int dims = 1;
+  std::size_t extents[3] = {0, 1, 1};
+  std::size_t strides[3] = {0, 0, 0};  // strides[0] unused (runs are dense)
+
+  /// A dense run of `n` elements (what plain copy() lowers to).
+  [[nodiscard]] static StridedSpec contiguous(std::size_t n) {
+    StridedSpec s;
+    s.dims = 1;
+    s.extents[0] = n;
+    return s;
+  }
+  /// `nrows` runs of `row_len` elements, `row_stride` elements apart —
+  /// a matrix column block, an FT transpose target, a column halo.
+  [[nodiscard]] static StridedSpec rows(std::size_t row_len, std::size_t nrows,
+                                        std::size_t row_stride) {
+    StridedSpec s;
+    s.dims = 2;
+    s.extents[0] = row_len;
+    s.extents[1] = nrows;
+    s.strides[1] = row_stride;
+    return s;
+  }
+
+  /// Innermost runs the spec describes (zero extents count as zero).
+  [[nodiscard]] std::size_t regions() const noexcept {
+    std::size_t r = 1;
+    if (dims >= 2) r *= extents[1];
+    if (dims >= 3) r *= extents[2];
+    return extents[0] == 0 ? 0 : r;
+  }
+  /// Total elements the spec covers.
+  [[nodiscard]] std::size_t elems() const noexcept {
+    std::size_t e = extents[0];
+    if (dims >= 2) e *= extents[1];
+    if (dims >= 3) e *= extents[2];
+    return e;
+  }
+};
+
+/// Arbitrary (offset, length) element regions, in spec order. Sources may
+/// list overlapping or repeated regions (a gather may read an element
+/// twice); PUT destinations must be disjoint.
+struct IndexedSpec {
+  struct Region {
+    std::size_t offset = 0;  // elements from the transfer base
+    std::size_t len = 0;     // elements
+  };
+  std::vector<Region> regions;
+
+  [[nodiscard]] std::size_t elems() const noexcept {
+    std::size_t e = 0;
+    for (const Region& r : regions) e += r.len;
+    return e;
+  }
+};
+
+namespace vis {
+
+/// One contiguous run in elements (pre-pairing, single-sided).
+struct Run {
+  std::size_t offset = 0;
+  std::size_t len = 0;
+};
+
+/// Flatten a spec into innermost runs, in footprint order. Throws
+/// std::invalid_argument when dims is outside [1, 3]. Zero-length runs
+/// are dropped.
+[[nodiscard]] std::vector<Run> runs_of(const StridedSpec& spec);
+[[nodiscard]] std::vector<Run> runs_of(const IndexedSpec& spec);
+
+/// Throw std::invalid_argument when the spec's regions overlap (PUT
+/// destination validation; `what` names the argument in the message).
+void require_disjoint(const StridedSpec& spec, const char* what);
+void require_disjoint(const IndexedSpec& spec, const char* what);
+
+/// Pair destination and source runs iovec-style into byte-level regions,
+/// splitting runs where the two sides' boundaries disagree and merging
+/// back runs that turn out adjacent on both sides (stride == extent).
+/// Element offsets/lengths are scaled by `elem_size`. Throws
+/// std::invalid_argument when the sides cover different element counts.
+[[nodiscard]] std::vector<net::Region> pair_runs(const std::vector<Run>& dst,
+                                                 const std::vector<Run>& src,
+                                                 std::size_t elem_size);
+
+/// Summed payload of a lowered region list, in bytes.
+[[nodiscard]] std::size_t payload_bytes(const std::vector<net::Region>& regions);
+
+/// The full lowering for one transfer: validate the destination side
+/// (regions of a write target must be disjoint), flatten both sides and
+/// pair them. Works for any spec combination (StridedSpec / IndexedSpec on
+/// either side) — gas::Thread's copy_strided / copy_irregular overloads
+/// all funnel through this.
+template <class DstSpec, class SrcSpec>
+[[nodiscard]] std::vector<net::Region> lower(const DstSpec& dst,
+                                             const SrcSpec& src,
+                                             std::size_t elem_size) {
+  require_disjoint(dst, "destination");
+  return pair_runs(runs_of(dst), runs_of(src), elem_size);
+}
+
+}  // namespace vis
+
+}  // namespace hupc::gas

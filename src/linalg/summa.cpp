@@ -1,5 +1,6 @@
 #include "linalg/summa.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 #include <stdexcept>
@@ -9,8 +10,8 @@
 namespace hupc::linalg {
 
 Summa::Summa(gas::Runtime& rt, ProcessGrid grid, std::size_t m, std::size_t n,
-             std::size_t k)
-    : rt_(&rt), grid_(grid), m_(m), n_(n), k_(k) {
+             std::size_t k, bool vis)
+    : rt_(&rt), grid_(grid), vis_(vis), m_(m), n_(n), k_(k) {
   if (grid.pr != grid.pc) {
     throw std::invalid_argument("Summa: square process grids only");
   }
@@ -108,24 +109,59 @@ sim::Task<void> Summa::run(gas::Thread& self) {
   co_await self.barrier();
 
   for (int s = 0; s < p; ++s) {
-    // Owners load their tiles into the panel buffers.
-    if (mj == s) {
-      std::memcpy(panel_a_[static_cast<std::size_t>(me)].raw, tile_a(mi, s),
-                  tm_ * tk_ * sizeof(double));
-      co_await self.stream_local(
-          static_cast<double>(tm_ * tk_ * sizeof(double)) * 2.0);
+    if (vis_) {
+      // VIS panel exchange: pull the step's panels straight out of the
+      // owners' tiles with packed strided messages — column blocks of the
+      // tile, each a rows(width, nrows, row_stride) footprint — into my
+      // panel buffers at the same layout. A and B are never written during
+      // run(), so direct pulls need no extra synchronization; the panels
+      // (and C) come out bit-identical to the broadcast pipeline.
+      std::vector<async::future<>> pulls;
+      const gas::GlobalPtr<double> pa_dst =
+          panel_a_[static_cast<std::size_t>(me)];
+      const gas::GlobalPtr<double> a_src = a_.tile_base(
+          static_cast<std::size_t>(mi) * tm_, static_cast<std::size_t>(s) * tk_);
+      const std::size_t nb_a = std::max<std::size_t>(1, tk_ / 4);
+      for (std::size_t c0 = 0; c0 < tk_; c0 += nb_a) {
+        const std::size_t w = std::min(nb_a, tk_ - c0);
+        const auto spec = gas::StridedSpec::rows(w, tm_, tk_);
+        pulls.push_back(self.copy_strided_async(
+            gas::GlobalPtr<double>{pa_dst.owner, pa_dst.raw + c0}, spec,
+            gas::GlobalPtr<double>{a_src.owner, a_src.raw + c0}, spec));
+      }
+      const gas::GlobalPtr<double> pb_dst =
+          panel_b_[static_cast<std::size_t>(me)];
+      const gas::GlobalPtr<double> b_src = b_.tile_base(
+          static_cast<std::size_t>(s) * tk_, static_cast<std::size_t>(mj) * tn_);
+      const std::size_t nb_b = std::max<std::size_t>(1, tn_ / 4);
+      for (std::size_t c0 = 0; c0 < tn_; c0 += nb_b) {
+        const std::size_t w = std::min(nb_b, tn_ - c0);
+        const auto spec = gas::StridedSpec::rows(w, tk_, tn_);
+        pulls.push_back(self.copy_strided_async(
+            gas::GlobalPtr<double>{pb_dst.owner, pb_dst.raw + c0}, spec,
+            gas::GlobalPtr<double>{b_src.owner, b_src.raw + c0}, spec));
+      }
+      for (auto& f : pulls) co_await f.wait();
+    } else {
+      // Owners load their tiles into the panel buffers.
+      if (mj == s) {
+        std::memcpy(panel_a_[static_cast<std::size_t>(me)].raw, tile_a(mi, s),
+                    tm_ * tk_ * sizeof(double));
+        co_await self.stream_local(
+            static_cast<double>(tm_ * tk_ * sizeof(double)) * 2.0);
+      }
+      if (mi == s) {
+        std::memcpy(panel_b_[static_cast<std::size_t>(me)].raw, tile_b(s, mj),
+                    tk_ * tn_ * sizeof(double));
+        co_await self.stream_local(
+            static_cast<double>(tk_ * tn_ * sizeof(double)) * 2.0);
+      }
+      // Row-wise broadcast of the A panel, column-wise of the B panel.
+      co_await row_colls_[static_cast<std::size_t>(mi)]->broadcast(
+          self, row_bufs, tm_ * tk_, /*team root=*/s);
+      co_await col_colls_[static_cast<std::size_t>(mj)]->broadcast(
+          self, col_bufs, tk_ * tn_, /*team root=*/s);
     }
-    if (mi == s) {
-      std::memcpy(panel_b_[static_cast<std::size_t>(me)].raw, tile_b(s, mj),
-                  tk_ * tn_ * sizeof(double));
-      co_await self.stream_local(
-          static_cast<double>(tk_ * tn_ * sizeof(double)) * 2.0);
-    }
-    // Row-wise broadcast of the A panel, column-wise of the B panel.
-    co_await row_colls_[static_cast<std::size_t>(mi)]->broadcast(
-        self, row_bufs, tm_ * tk_, /*team root=*/s);
-    co_await col_colls_[static_cast<std::size_t>(mj)]->broadcast(
-        self, col_bufs, tk_ * tn_, /*team root=*/s);
 
     // Local rank-tk update: C += Apanel * Bpanel (really computed).
     const double* pa = panel_a_[static_cast<std::size_t>(me)].raw;

@@ -35,8 +35,14 @@ class Summa {
  public:
   /// C = A * B with square tile distribution: A is (m x k), B (k x n),
   /// C (m x n); grid.pr must divide m and k, grid.pc must divide n and k.
+  /// `vis` switches the panel exchange to VIS descriptor pulls: each rank
+  /// fetches the step's A/B panels straight out of the owners' tiles with
+  /// packed strided messages (column blocks of the tile) instead of the
+  /// owner-load + team-broadcast pipeline. Panel contents — and therefore
+  /// C — are bit-identical either way; only the modeled communication
+  /// schedule changes.
   Summa(gas::Runtime& rt, ProcessGrid grid, std::size_t m, std::size_t n,
-        std::size_t k);
+        std::size_t k, bool vis = false);
 
   /// Fill A and B deterministically (tests regenerate the same matrices).
   void fill(std::uint64_t seed);
@@ -58,6 +64,7 @@ class Summa {
 
   gas::Runtime* rt_;
   ProcessGrid grid_;
+  bool vis_;
   std::size_t m_, n_, k_;
   std::size_t tm_, tn_, tk_;  // tile dims: m/pr, n/pc, k is tiled both ways
   gas::SharedArray2D<double> a_, b_, c_;

@@ -65,6 +65,22 @@ sim::Task<void> Network::rma(Transfer t) {
     HUPC_TRACE_COUNT(tracer_, "net.aggregated", rank);
     HUPC_TRACE_COUNT(tracer_, "net.coalesced_ops", rank, t.coalesced_count);
   }
+  if (t.regions > 1) {
+    // Packed VIS footprint: the trace carries region count and bytes per
+    // region so a Chrome-trace view distinguishes 1x64KiB from 4096x16B
+    // (the "rma" scope above only shows the total).
+    ++src_counters.vis_messages;
+    src_counters.vis_regions += t.regions;
+    src_counters.vis_payload_bytes += t.payload_bytes;
+    src_counters.vis_bytes += t.bytes;
+    HUPC_TRACE_INSTANT(tracer_, trace::Category::net, "vis", rank, t.regions,
+                       static_cast<std::uint64_t>(
+                           t.payload_bytes / static_cast<double>(t.regions)));
+    HUPC_TRACE_COUNT(tracer_, "net.vis.msg", rank);
+    HUPC_TRACE_COUNT(tracer_, "net.vis.regions", rank, t.regions);
+    HUPC_TRACE_COUNT(tracer_, "net.vis.bytes", rank,
+                     static_cast<std::uint64_t>(t.payload_bytes));
+  }
 
   // Fault injection: one consultation per message. The mutation can hold
   // the message (a dark link buffers it until recovery) and/or degrade its
@@ -199,6 +215,30 @@ std::uint64_t Network::total_aggregated() const noexcept {
 std::uint64_t Network::total_coalesced_ops() const noexcept {
   std::uint64_t total = 0;
   for (const auto& c : counters_) total += c.coalesced_ops;
+  return total;
+}
+
+std::uint64_t Network::total_vis_messages() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& c : counters_) total += c.vis_messages;
+  return total;
+}
+
+std::uint64_t Network::total_vis_regions() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& c : counters_) total += c.vis_regions;
+  return total;
+}
+
+double Network::total_vis_payload_bytes() const noexcept {
+  double total = 0;
+  for (const auto& c : counters_) total += c.vis_payload_bytes;
+  return total;
+}
+
+double Network::total_vis_bytes() const noexcept {
+  double total = 0;
+  for (const auto& c : counters_) total += c.vis_bytes;
   return total;
 }
 

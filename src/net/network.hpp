@@ -30,13 +30,26 @@
 
 namespace hupc::net {
 
+/// One contiguous run of a packed (VIS) transfer footprint, in bytes
+/// relative to the transfer's destination and source bases. The descriptor
+/// lowering in hupc::gas flattens strided/indexed specs into these runs;
+/// the network only ever sees their count and summed payload.
+struct Region {
+  std::size_t dst_off = 0;
+  std::size_t src_off = 0;
+  std::size_t bytes = 0;
+};
+
 /// One-sided transfer descriptor (the argument to rma / rma_async /
 /// loopback). `src_ep` is the node-local endpoint index of the issuing
 /// rank; `api_scale` scales the per-message shared-API service cost —
 /// tuned collective engines batch doorbells/completions and pay a fraction
 /// of the per-message cost independent endpoints do. `coalesced_count > 1`
 /// marks an aggregated message carrying that many fine-grained operations
-/// (one comm::Coalescer flush); it affects accounting only, never timing.
+/// (one comm::Coalescer flush); `regions > 1` marks a packed VIS message
+/// carrying that many non-contiguous regions totalling `payload_bytes` of
+/// real data (`bytes` additionally carries per-region metadata headers).
+/// Both footprint fields affect accounting and trace only, never timing.
 struct Transfer {
   int src_node = -1;
   int src_ep = 0;
@@ -44,6 +57,8 @@ struct Transfer {
   double bytes = 0.0;
   double api_scale = 1.0;
   std::uint64_t coalesced_count = 1;
+  std::uint64_t regions = 1;
+  double payload_bytes = 0.0;  // set (payload sans headers) when regions > 1
 };
 
 class Network {
@@ -55,6 +70,13 @@ class Network {
     /// this node, and the fine-grained operations they carried.
     std::uint64_t aggregated = 0;
     std::uint64_t coalesced_ops = 0;
+    /// Packed VIS messages (Transfer::regions > 1) injected from this
+    /// node: message count, regions carried, payload bytes (sans headers)
+    /// and gross bytes (headers included) — check_vis_conservation's view.
+    std::uint64_t vis_messages = 0;
+    std::uint64_t vis_regions = 0;
+    double vis_payload_bytes = 0.0;
+    double vis_bytes = 0.0;
   };
 
   /// `endpoints_per_node` — how many distinct endpoints (UPC ranks) may
@@ -85,6 +107,10 @@ class Network {
   [[nodiscard]] double total_bytes() const noexcept;
   [[nodiscard]] std::uint64_t total_aggregated() const noexcept;
   [[nodiscard]] std::uint64_t total_coalesced_ops() const noexcept;
+  [[nodiscard]] std::uint64_t total_vis_messages() const noexcept;
+  [[nodiscard]] std::uint64_t total_vis_regions() const noexcept;
+  [[nodiscard]] double total_vis_payload_bytes() const noexcept;
+  [[nodiscard]] double total_vis_bytes() const noexcept;
 
   [[nodiscard]] sim::FluidLink& nic(int node) {
     return *nics_[static_cast<std::size_t>(node)];

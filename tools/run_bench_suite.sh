@@ -55,6 +55,7 @@ export HUPC_GIT_SHA
 sim_suites=(
   bench_ablation_coalesce
   bench_ablation_readcache
+  bench_ablation_vis
   bench_ablation_steal
   bench_ablation_async
   bench_ablation_collectives
