@@ -1,0 +1,206 @@
+// kv_server — open-loop serving driver for the sharded in-GAS key-value
+// store (DESIGN.md §16).
+//
+// Builds a KvStore sharded over every rank of the simulated machine, then
+// runs kv::run_serving: rank-partitioned preload of the key universe, a
+// barrier, and an open-loop measured phase where every rank fires
+// get/put/update requests at precomputed Poisson arrival times (optionally
+// bursty) and latency is charged from the INTENDED arrival to completion.
+// The summary prints the latency distribution (p50/p99/p99.9 from the
+// log-bucketed histogram), throughput, goodput under the SLO, and how the
+// selector split operations between the AMO and RPC paths.
+//
+//   ./kv_server [--threads N] [--nodes M] [--machine lehman|pyramid]
+//               [--dist=zipfian|uniform] [--zipf-s 0.99] [--rw-mix 0.95]
+//               [--kv-path=auto|amo|rpc] [--keys 4096] [--ops 128]
+//               [--shards S] [--capacity C] [--arrival HZ] [--burst B]
+//               [--burst-len L] [--slo-us US] [--read-cache=on|off]
+//               [--seed S] [--fault-plan=NAME] [--fault-seed=S]
+//               [--trace FILE] [--trace-summary FILE]
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "fault/plan.hpp"
+#include "gas/gas.hpp"
+#include "kv/shard_map.hpp"
+#include "kv/store.hpp"
+#include "kv/workload.hpp"
+#include "sim/sim.hpp"
+#include "trace/trace.hpp"
+#include "util/cli.hpp"
+
+using namespace hupc;  // NOLINT
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const int threads = static_cast<int>(cli.get_int("threads", 16));
+  const int nodes = static_cast<int>(cli.get_int("nodes", 4));
+  const std::string machine = cli.get("machine", "lehman");
+  const std::string dist_opt = cli.get("dist", "zipfian");
+  const double zipf_s = cli.get_double("zipf-s", 0.99);
+  const double rw_mix = cli.get_double("rw-mix", 0.95);
+  const std::string path_opt = cli.get("kv-path", "auto");
+  const auto keys = static_cast<std::size_t>(cli.get_int("keys", 4096));
+  const auto ops = static_cast<std::size_t>(cli.get_int("ops", 128));
+  const int shards = static_cast<int>(cli.get_int("shards", 0));
+  const auto capacity = static_cast<std::size_t>(cli.get_int("capacity", 0));
+  const double arrival_hz = cli.get_double("arrival", 1.0e6);
+  const double burst = cli.get_double("burst", 1.0);
+  const auto burst_len = static_cast<std::size_t>(cli.get_int("burst-len", 16));
+  const double slo_us = cli.get_double("slo-us", 50.0);
+  const std::string cache_opt = cli.get("read-cache", "on");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const std::string plan_name = cli.get("fault-plan", "");
+  const auto fault_seed =
+      static_cast<std::uint64_t>(cli.get_int("fault-seed", 1));
+  const std::string trace_file = cli.get("trace", "");
+  const std::string summary_file = cli.get("trace-summary", "");
+  cli.reject_unread("kv_server");
+
+  if (machine != "lehman" && machine != "pyramid") {
+    std::fprintf(stderr,
+                 "kv_server: error: unknown machine preset '%s' "
+                 "(expected lehman|pyramid)\n",
+                 machine.c_str());
+    return 2;
+  }
+  const auto dist = kv::parse_key_dist(dist_opt);
+  if (!dist) {
+    std::fprintf(stderr,
+                 "kv_server: error: unknown --dist value '%s' "
+                 "(expected zipfian|uniform)\n",
+                 dist_opt.c_str());
+    return 2;
+  }
+  const auto path = kv::parse_kv_path(path_opt);
+  if (!path) {
+    std::fprintf(stderr,
+                 "kv_server: error: unknown --kv-path value '%s' "
+                 "(expected auto|amo|rpc)\n",
+                 path_opt.c_str());
+    return 2;
+  }
+  if (!(rw_mix >= 0.0 && rw_mix <= 1.0)) {
+    std::fprintf(stderr,
+                 "kv_server: error: --rw-mix must be in [0,1] (got '%s')\n",
+                 cli.get("rw-mix", "0.95").c_str());
+    return 2;
+  }
+  if (cache_opt != "on" && cache_opt != "off") {
+    std::fprintf(stderr,
+                 "kv_server: error: unknown --read-cache value '%s' "
+                 "(expected on|off)\n",
+                 cache_opt.c_str());
+    return 2;
+  }
+
+  std::unique_ptr<trace::Tracer> tracer;
+  if (!trace_file.empty() || !summary_file.empty()) {
+    tracer = std::make_unique<trace::Tracer>();
+  }
+
+  sim::Engine engine;
+  gas::Config config;
+  config.machine =
+      machine == "pyramid" ? topo::pyramid(nodes) : topo::lehman(nodes);
+  config.threads = threads;
+  config.tracer = tracer.get();
+  gas::Runtime rt(engine, config);
+
+  std::unique_ptr<fault::FaultPlan> plan;
+  if (!plan_name.empty()) {
+    plan = std::make_unique<fault::FaultPlan>(
+        fault::plan_template(plan_name, fault_seed));
+    plan->install(rt);
+    std::printf("-- fault: %s\n", plan->params().describe().c_str());
+  }
+
+  async::RpcDomain rpc(rt);
+  kv::KvStore::Params store_params;
+  if (capacity != 0) store_params.capacity = capacity;
+  kv::KvStore store(rt, rpc, kv::ShardMap::over(rt, shards), store_params);
+
+  kv::ServingParams params;
+  params.keys = keys;
+  params.ops_per_rank = ops;
+  params.dist = *dist;
+  params.zipf_s = zipf_s;
+  params.read_fraction = rw_mix;
+  params.path = *path;
+  params.arrival_rate_hz = arrival_hz;
+  params.burst = burst;
+  params.burst_len = burst_len;
+  params.slo_s = slo_us * 1e-6;
+  params.read_cache = cache_opt == "on";
+  params.seed = seed;
+
+  const kv::ServingResult res = kv::run_serving(rt, store, params);
+
+  const kv::KvStats& stats = store.stats();
+  std::printf("kv_server: %d threads on %s(%d), %zu keys over %d shards, "
+              "%s keys (s=%.2f), rw-mix %.2f, path %s, read-cache %s\n",
+              threads, machine.c_str(), nodes, keys,
+              store.shard_map().shards(), kv::key_dist_name(*dist), zipf_s,
+              rw_mix, kv::kv_path_name(*path), cache_opt.c_str());
+  std::printf("  ops %llu (%llu reads, %llu writes) in %.3f ms virtual "
+              "makespan\n",
+              static_cast<unsigned long long>(res.ops),
+              static_cast<unsigned long long>(res.reads),
+              static_cast<unsigned long long>(res.writes),
+              res.makespan_s * 1e3);
+  std::printf("  latency  p50 %8.2f us   p99 %8.2f us   p99.9 %8.2f us   "
+              "mean %8.2f us   max %8.2f us\n",
+              res.p50_s * 1e6, res.p99_s * 1e6, res.p999_s * 1e6,
+              res.mean_s * 1e6, res.max_s * 1e6);
+  std::printf("  load     %.1f kops/s offered/rank, %.1f kops/s served, "
+              "%.1f kops/s within %.0f us SLO (%llu/%llu ops)\n",
+              arrival_hz / 1e3, res.throughput_ops_s / 1e3,
+              res.slo_goodput_ops_s / 1e3, slo_us,
+              static_cast<unsigned long long>(res.within_slo),
+              static_cast<unsigned long long>(res.ops));
+  std::printf("  paths    %llu amo, %llu rpc (%llu probes, %llu retries); "
+              "%llu live keys\n",
+              static_cast<unsigned long long>(stats.amo_ops),
+              static_cast<unsigned long long>(stats.rpc_ops),
+              static_cast<unsigned long long>(stats.probes),
+              static_cast<unsigned long long>(stats.retries),
+              static_cast<unsigned long long>(store.live()));
+  if (plan) {
+    std::printf("-- fault: injected %llu perturbations\n",
+                static_cast<unsigned long long>(plan->stats().total()));
+  }
+
+  if (tracer) {
+    if (!trace_file.empty()) {
+      std::ofstream os(trace_file);
+      tracer->export_chrome(os);
+      if (!os) {
+        std::fprintf(stderr, "kv_server: error: cannot write trace to %s\n",
+                     trace_file.c_str());
+        return 1;
+      }
+    }
+    if (!summary_file.empty()) {
+      std::ofstream os(summary_file);
+      tracer->export_summary(os);
+      if (!os) {
+        std::fprintf(stderr,
+                     "kv_server: error: cannot write trace summary to %s\n",
+                     summary_file.c_str());
+        return 1;
+      }
+    }
+  }
+
+  // The preload puts every key exactly once and the measured phase never
+  // erases: a live count that drifted from the key universe means the slot
+  // protocol lost an insert.
+  if (store.live() != keys) {
+    std::fprintf(stderr, "kv_server: error: %llu live keys != %zu preloaded\n",
+                 static_cast<unsigned long long>(store.live()), keys);
+    return 1;
+  }
+  return 0;
+}

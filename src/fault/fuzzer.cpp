@@ -12,6 +12,7 @@
 #include "fft/ft_model.hpp"
 #include "gas/collectives.hpp"
 #include "gas/runtime.hpp"
+#include "kv/store.hpp"
 #include "net/conduit.hpp"
 #include "sched/work_stealing.hpp"
 #include "sim/engine.hpp"
@@ -887,6 +888,199 @@ CaseResult run_vis(const CaseSpec& spec, const PlanParams& plan_params) {
   return res;
 }
 
+CaseResult run_kv(const CaseSpec& spec, const PlanParams& plan_params) {
+  CaseResult res;
+  trace::Tracer tracer(std::size_t{1} << 18);
+  sim::Engine engine;
+  gas::Runtime rt(engine, base_config(spec, &tracer));
+  FaultPlan plan(plan_params);
+  plan.install(rt);
+  async::RpcDomain rpc(rt);
+
+  // Small shards force probe collisions and tombstone reuse; 64 keys over
+  // 16 shards pile several keys onto every probe chain.
+  constexpr std::uint64_t kKeys = 64;
+  kv::KvStore::Params sp;
+  sp.capacity = 32;
+  kv::KvStore store(rt, rpc, kv::ShardMap::over(rt, 16), sp);
+
+  // Plan every rank's op sequence host-side. Writers are key-partitioned
+  // (key % ranks == rank), so per-rank sequential execution makes the
+  // mirror exact whatever the cross-rank interleaving — the one insert
+  // race the slot protocol leaves to callers never happens.
+  util::SplitMix64 sm(spec.seed ^ 0x6B765EEDULL);
+  struct KvPlanned {
+    kv::KvOp op = kv::KvOp::get;
+    kv::KvPath path = kv::KvPath::automatic;
+    std::uint64_t key = 0;
+    std::uint64_t value = 0;   // put value / update delta
+    std::uint64_t want = 0;    // expected value (get/update)
+    bool want_found = false;   // expected hit/ack
+  };
+  static const kv::KvPath kPaths[] = {kv::KvPath::automatic, kv::KvPath::amo,
+                                      kv::KvPath::rpc};
+  std::unordered_map<std::uint64_t, std::uint64_t> mirror;
+  KvExpectation expect;
+  std::vector<std::vector<KvPlanned>> phase_a(
+      static_cast<std::size_t>(kFuzzThreads));
+  for (int r = 0; r < kFuzzThreads; ++r) {
+    const int nops = 16 + static_cast<int>(sm.next() % 17);  // 16..32
+    auto& seq = phase_a[static_cast<std::size_t>(r)];
+    seq.reserve(static_cast<std::size_t>(nops));
+    for (int i = 0; i < nops; ++i) {
+      KvPlanned op;
+      op.key = static_cast<std::uint64_t>(r) +
+               static_cast<std::uint64_t>(kFuzzThreads) *
+                   (sm.next() % (kKeys / kFuzzThreads));
+      op.path = kPaths[sm.next() % 3];
+      const std::uint64_t kind = sm.next() % 100;
+      const auto it = mirror.find(op.key);
+      if (kind < 35) {
+        op.op = kv::KvOp::put;
+        op.value = sm.next();
+        op.want_found = true;  // ack: chains never fill at this load
+        mirror[op.key] = op.value;
+        ++expect.puts;
+      } else if (kind < 65) {
+        op.op = kv::KvOp::get;
+        op.want_found = it != mirror.end();
+        op.want = op.want_found ? it->second : 0;
+        ++expect.gets;
+      } else if (kind < 85) {
+        op.op = kv::KvOp::update;
+        op.value = sm.next() % 1000;
+        op.want_found = it != mirror.end();
+        if (op.want_found) {
+          it->second += op.value;
+          op.want = it->second;
+        }
+        ++expect.updates;
+      } else {
+        op.op = kv::KvOp::erase;
+        op.want_found = it != mirror.end();
+        if (op.want_found) mirror.erase(it);
+        ++expect.erases;
+      }
+      seq.push_back(op);
+    }
+  }
+
+  // Phase B: cross-rank reads of the (now stable) final state, served
+  // through a read-cache epoch — any key, any rank, mixed paths.
+  std::vector<std::vector<KvPlanned>> phase_b(
+      static_cast<std::size_t>(kFuzzThreads));
+  for (int r = 0; r < kFuzzThreads; ++r) {
+    auto& seq = phase_b[static_cast<std::size_t>(r)];
+    for (int i = 0; i < 8; ++i) {
+      KvPlanned op;
+      op.op = kv::KvOp::get;
+      op.key = sm.next() % kKeys;
+      op.path = kPaths[sm.next() % 3];
+      const auto it = mirror.find(op.key);
+      op.want_found = it != mirror.end();
+      op.want = op.want_found ? it->second : 0;
+      seq.push_back(op);
+      ++expect.gets;
+    }
+  }
+
+  // Per-op observed results, compared host-side after the run.
+  struct KvObserved {
+    std::uint64_t value = 0;
+    bool found = false;
+  };
+  std::vector<std::vector<KvObserved>> got_a(
+      static_cast<std::size_t>(kFuzzThreads));
+  std::vector<std::vector<KvObserved>> got_b(
+      static_cast<std::size_t>(kFuzzThreads));
+
+  rt.spmd([&](gas::Thread& t) -> sim::Task<void> {
+    const auto r = static_cast<std::size_t>(t.rank());
+    for (const KvPlanned& op : phase_a[r]) {
+      KvObserved got;
+      switch (op.op) {
+        case kv::KvOp::get: {
+          const kv::KvHit h = co_await store.get(t, op.key, op.path);
+          got = {h.value, h.found != 0};
+          break;
+        }
+        case kv::KvOp::put:
+          got.found = co_await store.put(t, op.key, op.value, op.path);
+          break;
+        case kv::KvOp::erase:
+          got.found = co_await store.erase(t, op.key, op.path);
+          break;
+        case kv::KvOp::update: {
+          const kv::KvHit h = co_await store.update(t, op.key, op.value,
+                                                    op.path);
+          got = {h.value, h.found != 0};
+          break;
+        }
+      }
+      got_a[r].push_back(got);
+    }
+    co_await t.barrier();
+    {
+      gas::CachedEpoch epoch(t);
+      for (const KvPlanned& op : phase_b[r]) {
+        const kv::KvHit h = co_await store.get(t, op.key, op.path);
+        got_b[r].push_back({h.value, h.found != 0});
+      }
+    }
+    co_await t.barrier();
+  });
+  try {
+    rt.run_to_completion();
+  } catch (const std::exception& e) {
+    res.violations.push_back(std::string("kv: exception: ") + e.what());
+    finish(res, tracer, engine, plan);
+    return res;
+  }
+
+  const auto check_phase = [&res](const char* phase,
+                                  const std::vector<KvPlanned>& want,
+                                  const std::vector<KvObserved>& got, int r) {
+    if (got.size() != want.size()) {
+      res.violations.push_back(std::string("kv oracle: rank ") +
+                               std::to_string(r) + " completed " +
+                               std::to_string(got.size()) + "/" +
+                               std::to_string(want.size()) + " " + phase +
+                               " ops");
+      return;
+    }
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      const KvPlanned& w = want[i];
+      const bool value_matters =
+          w.want_found && (w.op == kv::KvOp::get || w.op == kv::KvOp::update);
+      if (got[i].found != w.want_found ||
+          (value_matters && got[i].value != w.want)) {
+        res.violations.push_back(
+            std::string("kv oracle: rank ") + std::to_string(r) + " " +
+            phase + " op " + std::to_string(i) + " (" +
+            kv::kv_op_name(w.op) + " key " + std::to_string(w.key) +
+            ") returned found=" + std::to_string(got[i].found) + " value " +
+            std::to_string(got[i].value) + ", expected found=" +
+            std::to_string(w.want_found) + " value " +
+            std::to_string(w.want));
+        break;  // one divergence per rank keeps the report readable
+      }
+    }
+  };
+  for (int r = 0; r < kFuzzThreads; ++r) {
+    const auto rr = static_cast<std::size_t>(r);
+    check_phase("phase-a", phase_a[rr], got_a[rr], r);
+    check_phase("phase-b", phase_b[rr], got_b[rr], r);
+  }
+
+  check_kv_conservation(store, mirror, expect, effective(tracer),
+                        res.violations);
+  check_byte_conservation(rt, res.violations);
+  check_trace_network(effective(tracer), rt, res.violations);
+  check_virtual_time(engine, res.violations);
+  finish(res, tracer, engine, plan);
+  return res;
+}
+
 }  // namespace
 
 std::string CaseSpec::replay_command() const {
@@ -907,8 +1101,8 @@ CaseSpec derive_case(std::uint64_t case_seed,
   // uts is weighted 2x: it exercises the most seams (steal + net + engine).
   static const char* const kWorkloads[] = {"uts",    "uts",   "ft",
                                            "barrier", "gather", "async",
-                                           "teams",  "vis"};
-  spec.workload = kWorkloads[sm.next() % 8];
+                                           "teams",  "vis",    "kv"};
+  spec.workload = kWorkloads[sm.next() % 9];
   spec.backend = sm.next() % 2 == 0 ? "processes" : "pthreads";
   static const char* const kConduits[] = {"ib-qdr", "ib-ddr", "gige"};
   spec.conduit = kConduits[sm.next() % 3];
@@ -926,6 +1120,7 @@ CaseResult run_case(const CaseSpec& spec, const PlanParams& plan) {
   if (spec.workload == "async") return run_async(spec, plan);
   if (spec.workload == "teams") return run_teams(spec, plan);
   if (spec.workload == "vis") return run_vis(spec, plan);
+  if (spec.workload == "kv") return run_kv(spec, plan);
   return run_uts(spec, plan);
 }
 

@@ -23,7 +23,11 @@
 //   vis     — randomized strided/indexed gathers and scatters vs. a
 //             host-side mirror oracle (bit-identical data, packed-message /
 //             region / payload-byte conservation via
-//             check_vis_conservation).
+//             check_vis_conservation);
+//   kv      — randomized kv-store op sequences (rank-partitioned writers,
+//             seeded amo/rpc/auto path per op, cross-rank cached reads) vs.
+//             a host-mirror oracle (every acked put readable, shard count
+//             conservation via check_kv_conservation).
 #pragma once
 
 #include <cstdint>
@@ -47,7 +51,7 @@ struct FuzzOptions {
                                         "bw-dip",      "blackout",
                                         "steal-storm", "completion-storm",
                                         "team-storm",  "vis-storm",
-                                        "mixed"};
+                                        "kv-storm",    "mixed"};
   /// Plant the test-only steal-split off-by-one (UTS cases only): the sweep
   /// must then find a conservation violation — how the fuzzer's own
   /// detection power is regression-tested.
@@ -60,7 +64,7 @@ struct FuzzOptions {
 struct CaseSpec {
   std::uint64_t seed = 0;
   std::string workload;  // "uts" | "ft" | "barrier" | "gather" | "async" |
-                         // "teams" | "vis"
+                         // "teams" | "vis" | "kv"
   std::string backend;   // "processes" | "pthreads"
   std::string conduit;   // "ib-qdr" | "ib-ddr" | "gige"
   std::string plan;      // template name

@@ -256,4 +256,94 @@ void check_barrier(gas::Runtime& rt, std::uint64_t expected_phases,
   }
 }
 
+void check_kv_conservation(
+    const kv::KvStore& store,
+    const std::unordered_map<std::uint64_t, std::uint64_t>& mirror,
+    const KvExpectation& expected, const trace::Tracer* tracer,
+    Violations& out) {
+  // Every acked put readable, nothing extra: the live snapshot IS the
+  // mirror. Walk the snapshot against the mirror, then compare sizes to
+  // catch lost keys and duplicated slots in one pass each.
+  const auto snap = store.snapshot();
+  std::unordered_map<std::uint64_t, std::uint64_t> seen;
+  for (const auto& [key, value] : snap) {
+    if (!seen.emplace(key, value).second) {
+      out.push_back("kv conservation: key " + std::to_string(key) +
+                    " occupies more than one live slot");
+      continue;
+    }
+    const auto it = mirror.find(key);
+    if (it == mirror.end()) {
+      out.push_back("kv conservation: key " + std::to_string(key) +
+                    " live in the store but absent from the mirror");
+    } else if (it->second != value) {
+      out.push_back("kv conservation: key " + std::to_string(key) +
+                    " holds " + std::to_string(value) + ", mirror says " +
+                    std::to_string(it->second));
+    }
+  }
+  if (seen.size() != mirror.size()) {
+    out.push_back("kv conservation: " + std::to_string(seen.size()) +
+                  " distinct live keys != mirror size " +
+                  std::to_string(mirror.size()));
+  }
+
+  // Shard value-count conservation: the fetch_add-maintained live counter
+  // must match a recount of the slot states it claims to summarize.
+  for (int s = 0; s < store.shard_map().shards(); ++s) {
+    const std::uint64_t counted = store.shard_live(s);
+    const std::uint64_t recounted = store.shard_live_recount(s);
+    if (counted != recounted) {
+      out.push_back("kv conservation: shard " + std::to_string(s) +
+                    " live counter " + std::to_string(counted) +
+                    " != slot recount " + std::to_string(recounted));
+    }
+  }
+
+  // Op accounting against the oracle (host-side stats work at any trace
+  // level; the tracer cross-check below needs compiled-in counters).
+  const kv::KvStats& st = store.stats();
+  const auto expect_eq = [&out](const char* what, std::uint64_t got,
+                                std::uint64_t want) {
+    if (got != want) {
+      out.push_back(std::string("kv conservation: ") + what + " " +
+                    std::to_string(got) + " != expected " +
+                    std::to_string(want));
+    }
+  };
+  expect_eq("gets", st.gets, expected.gets);
+  expect_eq("puts", st.puts, expected.puts);
+  expect_eq("erases", st.erases, expected.erases);
+  expect_eq("updates", st.updates, expected.updates);
+  expect_eq("path attributions (amo + rpc)", st.amo_ops + st.rpc_ops,
+            st.total_ops());
+
+  if (tracer != nullptr) {
+    const auto cross = [&](const char* name, std::uint64_t want) {
+      const std::uint64_t traced = tracer->counter_total(name);
+      if (traced != want) {
+        out.push_back(std::string("trace cross-check: ") + name + " " +
+                      std::to_string(traced) + " != store stats " +
+                      std::to_string(want));
+      }
+    };
+    cross("gas.kv.get", st.gets);
+    cross("gas.kv.put", st.puts);
+    cross("gas.kv.erase", st.erases);
+    cross("gas.kv.update", st.updates);
+    cross("gas.kv.probe", st.probes);
+    cross("gas.kv.retry", st.retries);
+    cross("gas.kv.insert", st.inserts);
+    cross("gas.kv.tombstone", st.tombstones);
+    const std::uint64_t traced_paths =
+        tracer->counter_total("gas.kv.path.amo") +
+        tracer->counter_total("gas.kv.path.rpc");
+    if (traced_paths != st.total_ops()) {
+      out.push_back("trace cross-check: gas.kv.path.* total " +
+                    std::to_string(traced_paths) + " != total ops " +
+                    std::to_string(st.total_ops()));
+    }
+  }
+}
+
 }  // namespace hupc::fault

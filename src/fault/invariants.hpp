@@ -24,15 +24,21 @@
 //                            and the cache's own accounting is coherent;
 //   team agreement         — every member of a collective team completed
 //                            the same number of operations and derived the
-//                            same digest, whatever algorithm ran them.
+//                            same digest, whatever algorithm ran them;
+//   kv conservation        — every acknowledged put is readable (store
+//                            snapshot == host mirror), shard live counters
+//                            match slot recounts, and op/path accounting
+//                            balances.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "comm/read_cache.hpp"
 #include "gas/runtime.hpp"
+#include "kv/store.hpp"
 #include "sched/work_stealing.hpp"
 #include "sim/engine.hpp"
 #include "trace/trace.hpp"
@@ -130,6 +136,30 @@ struct TeamOpRecord {
 void check_team_agreement(const std::vector<TeamOpRecord>& records,
                           std::uint64_t expected_coll_calls,
                           const trace::Tracer* tracer, Violations& out);
+
+/// The kv fuzz workload's host-side oracle: the acknowledged operation
+/// counts the kernels performed (by op kind, summed over every rank).
+struct KvExpectation {
+  std::uint64_t gets = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t erases = 0;
+  std::uint64_t updates = 0;
+};
+
+/// KV store conservation against a host mirror: every acknowledged put is
+/// readable (the store's live snapshot equals `mirror` exactly — no lost,
+/// extra, or duplicated keys), every shard's fetch_add-maintained live
+/// counter matches a slot-walk recount (value-count conservation), and the
+/// store's own op accounting matches the oracle's counts. With a tracer
+/// attached the gas.kv.* counters must agree too, and every operation must
+/// be attributed to exactly one path (amo + rpc == total ops). Faults may
+/// stretch claim windows and delay replies, never lose or duplicate an
+/// acknowledged mutation.
+void check_kv_conservation(
+    const kv::KvStore& store,
+    const std::unordered_map<std::uint64_t, std::uint64_t>& mirror,
+    const KvExpectation& expected, const trace::Tracer* tracer,
+    Violations& out);
 
 /// Work conservation for a finished WorkStealing run: processed ==
 /// `expected_total`, outstanding == 0, every stack fully drained; when a

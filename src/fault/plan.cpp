@@ -178,7 +178,8 @@ const std::vector<std::string>& plan_template_names() {
       "none",        "jitter",         "latency-spike",
       "bw-dip",      "blackout",       "steal-storm",
       "spawn-throttle", "heap-pressure", "cache-storm",
-      "completion-storm", "team-storm",  "vis-storm",  "mixed"};
+      "completion-storm", "team-storm",  "vis-storm",  "kv-storm",
+      "mixed"};
   return names;
 }
 
@@ -270,6 +271,23 @@ PlanParams plan_template(const std::string& name, std::uint64_t seed) {
     p.cache_invalidate_p = in(0.20, 0.80);
     return p;
   }
+  if (name == "kv-storm") {
+    // KV serving stress: jitter perturbs the open-loop arrival process and
+    // the claim-protocol backoffs (widening busy windows so CAS races and
+    // retries actually happen), message delays stretch both the
+    // fine-grained AMO round trips and the RPC request/reply pairs,
+    // completion holds lean on launch_async's future resolution, and
+    // cache-line drops force hot-key reads back to the wire. Acked puts
+    // must stay readable and shard counts must conserve through all of it.
+    p.event_jitter_p = in(0.10, 0.40);
+    p.event_jitter_max_s = in(2e-6, 20e-6);
+    p.msg_delay_p = in(0.10, 0.40);
+    p.msg_delay_max_s = in(10e-6, 120e-6);
+    p.completion_delay_p = in(0.15, 0.50);
+    p.completion_delay_max_s = in(5e-6, 60e-6);
+    p.cache_invalidate_p = in(0.10, 0.60);
+    return p;
+  }
   if (name == "mixed") {
     p.event_jitter_p = in(0.05, 0.20);
     p.event_jitter_max_s = in(1e-6, 5e-6);
@@ -284,7 +302,7 @@ PlanParams plan_template(const std::string& name, std::uint64_t seed) {
       "fault::plan_template: unknown template \"" + name +
       "\" (known: none jitter latency-spike bw-dip blackout steal-storm "
       "spawn-throttle heap-pressure cache-storm completion-storm team-storm "
-      "vis-storm mixed)");
+      "vis-storm kv-storm mixed)");
 }
 
 }  // namespace hupc::fault

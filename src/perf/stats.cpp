@@ -5,17 +5,16 @@
 #include <vector>
 
 #include "util/rng.hpp"
+#include "util/stats.hpp"
 
 namespace hupc::perf {
 
 namespace {
 
-/// Median of a pre-sorted vector.
+/// Median of a pre-sorted vector — the suite-wide shared percentile
+/// formula at p = 0.5 (identical to the two-middle-ranks average).
 double sorted_median(const std::vector<double>& sorted) {
-  if (sorted.empty()) return 0;
-  const std::size_t n = sorted.size();
-  if (n % 2 == 1) return sorted[n / 2];
-  return 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+  return util::percentile_sorted(sorted, 0.5);
 }
 
 }  // namespace
@@ -68,15 +67,8 @@ Summary summarize(std::span<const double> samples, int resamples,
     m = sorted_median(draw);
   }
   std::sort(medians.begin(), medians.end());
-  const auto rank = [&](double p) {
-    const double r = p * static_cast<double>(medians.size() - 1);
-    const auto lo = static_cast<std::size_t>(r);
-    const auto hi = std::min(lo + 1, medians.size() - 1);
-    const double frac = r - static_cast<double>(lo);
-    return medians[lo] + frac * (medians[hi] - medians[lo]);
-  };
-  s.ci95_lo = rank(0.025);
-  s.ci95_hi = rank(0.975);
+  s.ci95_lo = util::percentile_sorted(medians, 0.025);
+  s.ci95_hi = util::percentile_sorted(medians, 0.975);
   return s;
 }
 

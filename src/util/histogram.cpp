@@ -3,28 +3,81 @@
 #include <algorithm>
 #include <cmath>
 #include <ostream>
+#include <stdexcept>
 
 namespace hupc::util {
 
-Histogram::Histogram(int max_log2)
-    : counts_(static_cast<std::size_t>(max_log2) + 1, 0) {}
-
-void Histogram::add(double value, std::uint64_t weight) {
-  int index = 0;
-  if (value >= 1.0) {
-    index = 1 + static_cast<int>(std::floor(std::log2(value)));
+LogHistogram::LogHistogram(double unit, int sub_bits, int max_log2)
+    : unit_(unit), sub_bits_(sub_bits), max_log2_(max_log2) {
+  if (!(unit > 0.0)) {
+    throw std::invalid_argument("LogHistogram: unit must be positive");
   }
-  index = std::clamp(index, 0, buckets() - 1);
-  counts_[static_cast<std::size_t>(index)] += weight;
+  if (sub_bits < 0 || sub_bits > 8) {
+    throw std::invalid_argument("LogHistogram: sub_bits must be in [0, 8]");
+  }
+  if (max_log2 < 1) {
+    throw std::invalid_argument("LogHistogram: max_log2 must be >= 1");
+  }
+  counts_.assign(
+      1 + (static_cast<std::size_t>(max_log2) << static_cast<unsigned>(
+               sub_bits)),
+      0);
+}
+
+int LogHistogram::index_of(double value) const {
+  const double scaled = value / unit_;
+  if (!(scaled >= 1.0)) return 0;  // also catches NaN
+  int major = static_cast<int>(std::floor(std::log2(scaled)));
+  const int subs = 1 << static_cast<unsigned>(sub_bits_);
+  if (major >= max_log2_) return buckets() - 1;
+  // Linear position within the octave [2^major, 2^(major+1)).
+  const double frac = scaled / std::ldexp(1.0, major) - 1.0;
+  const int sub = std::clamp(static_cast<int>(frac * subs), 0, subs - 1);
+  return 1 + major * subs + sub;
+}
+
+void LogHistogram::add(double value, std::uint64_t weight) {
+  if (weight == 0) return;
+  if (total_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  counts_[static_cast<std::size_t>(index_of(value))] += weight;
   total_ += weight;
 }
 
-double Histogram::bucket_floor(int index) {
-  if (index <= 0) return 0.0;
-  return std::ldexp(1.0, index - 1);
+void LogHistogram::merge(const LogHistogram& other) {
+  if (other.unit_ != unit_ || other.sub_bits_ != sub_bits_ ||
+      other.max_log2_ != max_log2_) {
+    throw std::invalid_argument("LogHistogram::merge: geometry mismatch");
+  }
+  if (other.total_ == 0) return;
+  if (total_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
 }
 
-double Histogram::percentile_ceiling(double p) const {
+double LogHistogram::bucket_floor(int index) const {
+  if (index <= 0) return 0.0;
+  const int subs = 1 << static_cast<unsigned>(sub_bits_);
+  const int major = (index - 1) / subs;
+  const int sub = (index - 1) % subs;
+  const double base = unit_ * std::ldexp(1.0, major);
+  return base * (1.0 + static_cast<double>(sub) / subs);
+}
+
+double LogHistogram::percentile_ceiling(double p) const {
   if (total_ == 0) return 0.0;
   const auto target = static_cast<std::uint64_t>(
       std::ceil(std::clamp(p, 0.0, 1.0) * static_cast<double>(total_)));
@@ -36,7 +89,29 @@ double Histogram::percentile_ceiling(double p) const {
   return bucket_floor(buckets());
 }
 
-void Histogram::print(std::ostream& os, const std::string& unit) const {
+double LogHistogram::percentile(double p) const {
+  if (total_ == 0) return 0.0;
+  const auto target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(
+             std::clamp(p, 0.0, 1.0) * static_cast<double>(total_))));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < buckets(); ++i) {
+    const std::uint64_t c = counts_[static_cast<std::size_t>(i)];
+    if (seen + c >= target) {
+      const double lo = bucket_floor(i);
+      const double hi = bucket_floor(i + 1);
+      const double within =
+          static_cast<double>(target - seen) / static_cast<double>(c);
+      const double est = lo + within * (hi - lo);
+      return std::clamp(est, min_, max_);
+    }
+    seen += c;
+  }
+  return max_;
+}
+
+void LogHistogram::print(std::ostream& os,
+                         const std::string& unit_label) const {
   std::uint64_t max_count = 0;
   for (auto c : counts_) max_count = std::max(max_count, c);
   if (max_count == 0) {
@@ -47,10 +122,29 @@ void Histogram::print(std::ostream& os, const std::string& unit) const {
     const auto c = counts_[static_cast<std::size_t>(i)];
     if (c == 0) continue;
     const int bar = static_cast<int>(40 * c / max_count);
-    os << "[" << bucket_floor(i) << ", " << bucket_floor(i + 1) << ") " << unit
-       << ": " << c << " " << std::string(static_cast<std::size_t>(bar), '#')
-       << "\n";
+    os << "[" << bucket_floor(i) << ", " << bucket_floor(i + 1) << ") "
+       << unit_label << ": " << c << " "
+       << std::string(static_cast<std::size_t>(bar), '#') << "\n";
   }
+}
+
+Histogram::Histogram(int max_log2) : log_(1.0, 0, max_log2) {}
+
+void Histogram::add(double value, std::uint64_t weight) {
+  log_.add(value, weight);
+}
+
+double Histogram::bucket_floor(int index) {
+  if (index <= 0) return 0.0;
+  return std::ldexp(1.0, index - 1);
+}
+
+double Histogram::percentile_ceiling(double p) const {
+  return log_.percentile_ceiling(p);
+}
+
+void Histogram::print(std::ostream& os, const std::string& unit) const {
+  log_.print(os, unit);
 }
 
 }  // namespace hupc::util

@@ -1,5 +1,15 @@
-// Power-of-two bucket histogram: message-size and latency distributions in
-// benches and network diagnostics.
+// Log-bucketed histograms: message-size and latency distributions in
+// benches, network diagnostics, and the kv serving harness's percentile
+// reporting (DESIGN.md §16).
+//
+// LogHistogram generalizes the original power-of-two Histogram with two
+// knobs: a `unit` scale (bucket 0 absorbs [0, unit), so microsecond-scale
+// latencies do not all collapse into one bucket) and `sub_bits` linear
+// sub-buckets per octave (HDR-histogram style: 2^sub_bits sub-buckets keep
+// the relative quantization error below 2^-sub_bits everywhere). Histogram
+// is now a thin wrapper over LogHistogram(unit=1, sub_bits=0) — the same
+// buckets, totals, and percentile_ceiling values as before, computed by the
+// one shared implementation.
 #pragma once
 
 #include <cstdint>
@@ -9,13 +19,18 @@
 
 namespace hupc::util {
 
-class Histogram {
+class LogHistogram {
  public:
-  /// Buckets: [0,1), [1,2), [2,4), ..., doubling; values above the top
-  /// bucket clamp into it. `max_log2` buckets above the unit bucket.
-  explicit Histogram(int max_log2 = 32);
+  /// Bucket 0 holds [0, unit). Octave m >= 0 covers
+  /// [unit*2^m, unit*2^(m+1)) split into 2^sub_bits equal sub-buckets;
+  /// `max_log2` octaves are tracked and values above the top clamp into
+  /// its last sub-bucket.
+  explicit LogHistogram(double unit = 1.0, int sub_bits = 0,
+                        int max_log2 = 32);
 
   void add(double value, std::uint64_t weight = 1);
+  /// Fold another histogram in; geometries must match (per-rank merge).
+  void merge(const LogHistogram& other);
 
   [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
   [[nodiscard]] std::uint64_t bucket(int index) const {
@@ -24,6 +39,53 @@ class Histogram {
   [[nodiscard]] int buckets() const noexcept {
     return static_cast<int>(counts_.size());
   }
+  [[nodiscard]] double unit() const noexcept { return unit_; }
+  [[nodiscard]] int sub_bits() const noexcept { return sub_bits_; }
+
+  /// Exact extrema of everything added (percentile estimates clamp here).
+  [[nodiscard]] double min_value() const noexcept { return min_; }
+  [[nodiscard]] double max_value() const noexcept { return max_; }
+
+  /// Lower bound of bucket `index`.
+  [[nodiscard]] double bucket_floor(int index) const;
+
+  /// Smallest bucket ceiling covering at least fraction `p` (0..1) of the
+  /// weight. Returns 0 for an empty histogram.
+  [[nodiscard]] double percentile_ceiling(double p) const;
+
+  /// Percentile estimate: locates the bucket covering rank ceil(p*total),
+  /// interpolates linearly within it, and clamps to the exact [min, max].
+  /// Returns 0 for an empty histogram.
+  [[nodiscard]] double percentile(double p) const;
+
+  /// Text rendering: one line per non-empty bucket with a proportional bar.
+  void print(std::ostream& os, const std::string& unit_label = "") const;
+
+ private:
+  [[nodiscard]] int index_of(double value) const;
+
+  double unit_ = 1.0;
+  int sub_bits_ = 0;
+  int max_log2_ = 32;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+class Histogram {
+ public:
+  /// Buckets: [0,1), [1,2), [2,4), ..., doubling; values above the top
+  /// bucket clamp into it. `max_log2` buckets above the unit bucket.
+  explicit Histogram(int max_log2 = 32);
+
+  void add(double value, std::uint64_t weight = 1);
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return log_.total(); }
+  [[nodiscard]] std::uint64_t bucket(int index) const {
+    return log_.bucket(index);
+  }
+  [[nodiscard]] int buckets() const noexcept { return log_.buckets(); }
   /// Lower bound of bucket `index` (0, 1, 2, 4, ...).
   [[nodiscard]] static double bucket_floor(int index);
 
@@ -35,8 +97,7 @@ class Histogram {
   void print(std::ostream& os, const std::string& unit = "") const;
 
  private:
-  std::vector<std::uint64_t> counts_;
-  std::uint64_t total_ = 0;
+  LogHistogram log_;
 };
 
 }  // namespace hupc::util

@@ -11,6 +11,23 @@
 
 namespace hupc::util {
 
+/// THE percentile definition for the whole suite: linear interpolation
+/// between closest ranks (rank = p * (n-1)) over an ALREADY SORTED span,
+/// `p01` in [0, 1]. util::Stats, perf::summarize (median, MAD, bootstrap
+/// CI), and util::LogHistogram's within-bucket interpolation all route
+/// through this one formula so p50/p99 means the same thing everywhere.
+[[nodiscard]] inline double percentile_sorted(std::span<const double> sorted,
+                                              double p01) noexcept {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted.front();
+  const double p = std::clamp(p01, 0.0, 1.0);
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
 /// Accumulates samples; queries are O(n log n) at most (sorting for
 /// percentiles) and do not mutate the stored samples.
 class Stats {
@@ -49,16 +66,9 @@ class Stats {
 
   /// Percentile via linear interpolation between closest ranks; p in [0,100].
   [[nodiscard]] double percentile(double p) const {
-    if (samples_.empty()) return 0.0;
     std::vector<double> sorted(samples_);
     std::sort(sorted.begin(), sorted.end());
-    if (sorted.size() == 1) return sorted.front();
-    const double clamped = std::clamp(p, 0.0, 100.0);
-    const double rank = clamped / 100.0 * static_cast<double>(sorted.size() - 1);
-    const auto lo = static_cast<std::size_t>(rank);
-    const auto hi = std::min(lo + 1, sorted.size() - 1);
-    const double frac = rank - static_cast<double>(lo);
-    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+    return percentile_sorted(sorted, p / 100.0);
   }
 
   [[nodiscard]] double median() const { return percentile(50.0); }

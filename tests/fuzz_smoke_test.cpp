@@ -119,6 +119,34 @@ TEST(FuzzSmoke, TeamsWorkloadIsCleanAndDeterministic) {
   EXPECT_EQ(clean, 40);
 }
 
+TEST(FuzzSmoke, KvWorkloadIsCleanAndDeterministic) {
+  // The kv workload must pass a 40-seed sweep — every seed draws a fresh
+  // op sequence (rank-partitioned put/get/update/erase with per-op
+  // amo/rpc/auto paths), cross-rank cached reads, and a plan template
+  // (including kv-storm) — and every case must replay bit-identically:
+  // same violations AND same trace summary across reruns of one seed.
+  const fault::FuzzOptions defaults;
+  int clean = 0;
+  for (int i = 0; i < 40; ++i) {
+    const std::uint64_t seed = 8000 + static_cast<std::uint64_t>(i);
+    fault::CaseSpec spec =
+        fault::derive_case(seed, defaults.templates, /*plant_split_bug=*/false);
+    spec.workload = "kv";
+    const fault::CaseResult once = fault::run_case(spec);
+    const fault::CaseResult twice = fault::run_case(spec);
+    EXPECT_EQ(once.violations, twice.violations) << "seed " << seed;
+    EXPECT_EQ(once.summary, twice.summary)
+        << "seed " << seed << " is not deterministic";
+    if (once.ok()) {
+      ++clean;
+    } else {
+      ADD_FAILURE() << "seed " << seed << " plan " << spec.plan << ": "
+                    << once.violations.front();
+    }
+  }
+  EXPECT_EQ(clean, 40);
+}
+
 TEST(FuzzSmoke, ExplicitCaseWithoutBugIsCleanEvenOnFailingSeed) {
   // The bug lives in the (test-only) split path, not in the plan: the same
   // derived case with plant_split_bug off must pass.

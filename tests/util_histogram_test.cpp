@@ -1,11 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <stdexcept>
 
 #include "util/histogram.hpp"
 
 namespace {
 
+namespace util = hupc::util;
 using hupc::util::Histogram;
 
 TEST(Histogram, BucketBoundariesArePowersOfTwo) {
@@ -52,6 +54,76 @@ TEST(Histogram, PercentileCeiling) {
   EXPECT_DOUBLE_EQ(h.percentile_ceiling(0.9), 2.0);
   EXPECT_DOUBLE_EQ(h.percentile_ceiling(0.99), 128.0);
   EXPECT_DOUBLE_EQ(Histogram(4).percentile_ceiling(0.5), 0.0);
+}
+
+TEST(LogHistogram, SubBucketsRefineOctaves) {
+  // sub_bits=2: octave [1,2) splits into [1,1.25) [1.25,1.5) [1.5,1.75)
+  // [1.75,2).
+  util::LogHistogram h(1.0, 2, 8);
+  EXPECT_DOUBLE_EQ(h.bucket_floor(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucket_floor(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.bucket_floor(2), 1.25);
+  EXPECT_DOUBLE_EQ(h.bucket_floor(5), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_floor(6), 2.5);
+  h.add(1.3);
+  EXPECT_EQ(h.bucket(2), 1u);
+  h.add(2.6);
+  EXPECT_EQ(h.bucket(6), 1u);
+}
+
+TEST(LogHistogram, UnitScalesTheFirstBucket) {
+  util::LogHistogram h(1e-6, 0, 8);  // microsecond unit
+  h.add(0.5e-6);  // below the unit: bucket 0
+  h.add(3e-6);    // [2us, 4us): bucket 2 (octave 1)
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_DOUBLE_EQ(h.bucket_floor(2), 2e-6);
+}
+
+TEST(LogHistogram, PercentileInterpolatesAndClampsToExactExtrema) {
+  util::LogHistogram h(1.0, 4, 16);
+  for (int i = 0; i < 99; ++i) h.add(10.0);
+  h.add(100.0);
+  // p50 lands in 10's sub-bucket but can never undershoot the exact min.
+  EXPECT_GE(h.percentile(0.50), 10.0);
+  EXPECT_LE(h.percentile(0.50), 10.625);  // 10's sub-bucket ceiling
+  EXPECT_LE(h.percentile(0.999), 100.0);  // clamped to exact max
+  EXPECT_GE(h.percentile(0.995), 10.0);
+  EXPECT_DOUBLE_EQ(h.min_value(), 10.0);
+  EXPECT_DOUBLE_EQ(h.max_value(), 100.0);
+  EXPECT_DOUBLE_EQ(util::LogHistogram().percentile(0.5), 0.0);  // empty
+}
+
+TEST(LogHistogram, MergeFoldsCountsAndExtrema) {
+  util::LogHistogram a(1.0, 2, 8);
+  util::LogHistogram b(1.0, 2, 8);
+  a.add(1.0, 3);
+  b.add(6.0, 2);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 5u);
+  EXPECT_DOUBLE_EQ(a.min_value(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max_value(), 6.0);
+  util::LogHistogram other_geometry(2.0, 2, 8);
+  EXPECT_THROW(a.merge(other_geometry), std::invalid_argument);
+}
+
+TEST(LogHistogram, MatchesLegacyHistogramLayoutAtUnitGeometry) {
+  // Histogram is now a wrapper over LogHistogram(1.0, 0, n): the layouts
+  // must agree bucket for bucket.
+  util::LogHistogram log(1.0, 0, 8);
+  Histogram legacy(8);
+  const double values[] = {0.0, 0.5, 1.0, 2.0, 3.9, 64.0, 1e9};
+  for (double v : values) {
+    log.add(v);
+    legacy.add(v);
+  }
+  ASSERT_EQ(log.buckets(), legacy.buckets());
+  for (int i = 0; i < log.buckets(); ++i) {
+    EXPECT_EQ(log.bucket(i), legacy.bucket(i)) << "bucket " << i;
+    EXPECT_DOUBLE_EQ(log.bucket_floor(i), Histogram::bucket_floor(i));
+  }
+  EXPECT_DOUBLE_EQ(log.percentile_ceiling(0.5),
+                   legacy.percentile_ceiling(0.5));
 }
 
 TEST(Histogram, PrintRendersNonEmptyBuckets) {

@@ -61,6 +61,7 @@ sim_suites=(
   bench_ablation_collectives
   bench_gups_groups
   bench_fig_3_3_uts_scaling
+  bench_kv_serving
 )
 micro_suite=bench_micro_engine
 
