@@ -48,7 +48,8 @@ void KvStore::note_retry(int rank) {
   HUPC_TRACE_COUNT(rt_->tracer(), "gas.kv.retry", rank);
 }
 
-KvPath KvStore::resolve(KvOp op, gas::Thread& t, int shard) {
+KvPath KvStore::resolve(KvOp op, gas::Thread& t, int shard,
+                        KvPath call_override) {
   switch (op) {
     case KvOp::get:
       ++stats_.gets;
@@ -68,8 +69,10 @@ KvPath KvStore::resolve(KvOp op, gas::Thread& t, int shard) {
       break;
   }
   const int owner = map_.owner_of(shard);
-  KvPath p =
-      params_.selector.choose(op, rt_->same_supernode(t.rank(), owner));
+  KvPath p = call_override != KvPath::automatic
+                 ? call_override
+                 : params_.selector.choose(
+                       op, rt_->same_supernode(t.rank(), owner));
   if (p == KvPath::automatic) p = KvPath::amo;
   if (p == KvPath::amo) {
     ++stats_.amo_ops;
@@ -83,12 +86,7 @@ KvPath KvStore::resolve(KvOp op, gas::Thread& t, int shard) {
 
 sim::Task<KvHit> KvStore::get(gas::Thread& t, std::uint64_t key, KvPath path) {
   const int shard = map_.shard_of(key);
-  KvSelector pinned = params_.selector;
-  if (path != KvPath::automatic) pinned.override_path = path;
-  const KvSelector saved = params_.selector;
-  params_.selector = pinned;
-  const KvPath p = resolve(KvOp::get, t, shard);
-  params_.selector = saved;
+  const KvPath p = resolve(KvOp::get, t, shard, path);
   if (p == KvPath::amo) co_return co_await amo_get(t, shard, key);
   co_return co_await rpc_op(t, KvOp::get, shard, key, 0);
 }
@@ -96,12 +94,7 @@ sim::Task<KvHit> KvStore::get(gas::Thread& t, std::uint64_t key, KvPath path) {
 sim::Task<bool> KvStore::put(gas::Thread& t, std::uint64_t key,
                              std::uint64_t value, KvPath path) {
   const int shard = map_.shard_of(key);
-  KvSelector pinned = params_.selector;
-  if (path != KvPath::automatic) pinned.override_path = path;
-  const KvSelector saved = params_.selector;
-  params_.selector = pinned;
-  const KvPath p = resolve(KvOp::put, t, shard);
-  params_.selector = saved;
+  const KvPath p = resolve(KvOp::put, t, shard, path);
   if (p == KvPath::amo) co_return co_await amo_put(t, shard, key, value);
   const KvHit r = co_await rpc_op(t, KvOp::put, shard, key, value);
   co_return r.found != 0;
@@ -110,12 +103,7 @@ sim::Task<bool> KvStore::put(gas::Thread& t, std::uint64_t key,
 sim::Task<bool> KvStore::erase(gas::Thread& t, std::uint64_t key,
                                KvPath path) {
   const int shard = map_.shard_of(key);
-  KvSelector pinned = params_.selector;
-  if (path != KvPath::automatic) pinned.override_path = path;
-  const KvSelector saved = params_.selector;
-  params_.selector = pinned;
-  const KvPath p = resolve(KvOp::erase, t, shard);
-  params_.selector = saved;
+  const KvPath p = resolve(KvOp::erase, t, shard, path);
   if (p == KvPath::amo) co_return co_await amo_erase(t, shard, key);
   const KvHit r = co_await rpc_op(t, KvOp::erase, shard, key, 0);
   co_return r.found != 0;
@@ -124,17 +112,32 @@ sim::Task<bool> KvStore::erase(gas::Thread& t, std::uint64_t key,
 sim::Task<KvHit> KvStore::update(gas::Thread& t, std::uint64_t key,
                                  std::uint64_t delta, KvPath path) {
   const int shard = map_.shard_of(key);
-  KvSelector pinned = params_.selector;
-  if (path != KvPath::automatic) pinned.override_path = path;
-  const KvSelector saved = params_.selector;
-  params_.selector = pinned;
-  const KvPath p = resolve(KvOp::update, t, shard);
-  params_.selector = saved;
+  const KvPath p = resolve(KvOp::update, t, shard, path);
   if (p == KvPath::amo) co_return co_await amo_update(t, shard, key, delta);
   co_return co_await rpc_op(t, KvOp::update, shard, key, delta);
 }
 
 // --- caller-side AMO protocol -------------------------------------------
+
+sim::Task<KvStore::Claim> KvStore::claim_full_slot(gas::Thread& t,
+                                                   const Shard& sh,
+                                                   std::size_t idx,
+                                                   std::uint64_t key) {
+  const std::uint64_t old =
+      co_await t.compare_swap(state_ptr(sh, idx), kFull, kBusy);
+  if (old != kFull) co_return Claim::lost;
+  // Winning the CAS alone does not prove the slot still holds `key`: the
+  // claim window between the probe read and the CAS is several round trips
+  // wide, and in it the slot can be erased and its tombstone reused for a
+  // DIFFERENT key (state cycles full -> tomb -> busy -> full, so the CAS
+  // cannot tell — the classic ABA). Re-read the key under the claim; on a
+  // mismatch hand the (untouched) slot back and make the caller re-probe.
+  const std::uint64_t now = co_await t.get(key_ptr(sh, idx));
+  note_probe(t.rank());
+  if (now == key) co_return Claim::won;
+  co_await t.put(state_ptr(sh, idx), kFull);
+  co_return Claim::moved;
+}
 
 sim::Task<KvHit> KvStore::amo_get(gas::Thread& t, int shard,
                                   std::uint64_t key) {
@@ -177,12 +180,13 @@ sim::Task<bool> KvStore::amo_put(gas::Thread& t, int shard, std::uint64_t key,
       }
       if (s.state == kFull && s.key == key) {
         // Assign in place under a claim: full -> busy -> (new value) -> full.
-        const std::uint64_t old =
-            co_await t.compare_swap(state_ptr(sh, idx), kFull, kBusy);
-        if (old != kFull) {
+        const Claim c = co_await claim_full_slot(t, sh, idx, key);
+        if (c != Claim::won) {
           note_retry(t.rank());
           co_await sim::delay(rt_->engine(), sim::from_seconds(kBusyBackoffS));
-          continue;  // re-read this slot: a racer mutated it first
+          if (c == Claim::lost) continue;  // re-read: a racer claimed first
+          restart = true;  // slot now holds another key: rebuild the view
+          break;
         }
         co_await t.put(value_ptr(sh, idx), value);
         co_await t.put(state_ptr(sh, idx), kFull);
@@ -250,72 +254,82 @@ sim::Task<bool> KvStore::amo_erase(gas::Thread& t, int shard,
                                    std::uint64_t key) {
   const Shard& sh = shards_[static_cast<std::size_t>(shard)];
   const std::size_t mask = capacity_ - 1;
-  std::size_t idx = start_of(key);
-  std::size_t walked = 0;
-  while (walked < capacity_) {
-    const Slot s = co_await t.get(slot_ptr(sh, idx));
-    note_probe(t.rank());
-    if (s.state == kBusy) {
-      note_retry(t.rank());
-      co_await sim::delay(rt_->engine(), sim::from_seconds(kBusyBackoffS));
-      continue;
-    }
-    if (s.state == kEmpty) co_return false;
-    if (s.state == kFull && s.key == key) {
-      const std::uint64_t old =
-          co_await t.compare_swap(state_ptr(sh, idx), kFull, kBusy);
-      if (old != kFull) {
+  for (;;) {  // restarted when a claimed slot turned out to hold another key
+    std::size_t idx = start_of(key);
+    std::size_t walked = 0;
+    bool restart = false;
+    while (walked < capacity_) {
+      const Slot s = co_await t.get(slot_ptr(sh, idx));
+      note_probe(t.rank());
+      if (s.state == kBusy) {
         note_retry(t.rank());
         co_await sim::delay(rt_->engine(), sim::from_seconds(kBusyBackoffS));
-        continue;  // re-read: a racer claimed the slot first
+        continue;
       }
-      co_await t.put(state_ptr(sh, idx), kTomb);
-      (void)co_await t.fetch_add(live_ptr(sh), ~std::uint64_t{0});
-      (void)co_await t.fetch_add(tomb_ptr(sh), std::uint64_t{1});
-      ++stats_.tombstones;
-      HUPC_TRACE_COUNT(rt_->tracer(), "gas.kv.tombstone", t.rank());
-      co_return true;
+      if (s.state == kEmpty) co_return false;
+      if (s.state == kFull && s.key == key) {
+        const Claim c = co_await claim_full_slot(t, sh, idx, key);
+        if (c != Claim::won) {
+          note_retry(t.rank());
+          co_await sim::delay(rt_->engine(), sim::from_seconds(kBusyBackoffS));
+          if (c == Claim::lost) continue;  // re-read: a racer claimed first
+          restart = true;  // slot now holds another key: rebuild the view
+          break;
+        }
+        co_await t.put(state_ptr(sh, idx), kTomb);
+        (void)co_await t.fetch_add(live_ptr(sh), ~std::uint64_t{0});
+        (void)co_await t.fetch_add(tomb_ptr(sh), std::uint64_t{1});
+        ++stats_.tombstones;
+        HUPC_TRACE_COUNT(rt_->tracer(), "gas.kv.tombstone", t.rank());
+        co_return true;
+      }
+      idx = (idx + 1) & mask;
+      ++walked;
     }
-    idx = (idx + 1) & mask;
-    ++walked;
+    if (restart) continue;
+    co_return false;
   }
-  co_return false;
 }
 
 sim::Task<KvHit> KvStore::amo_update(gas::Thread& t, int shard,
                                      std::uint64_t key, std::uint64_t delta) {
   const Shard& sh = shards_[static_cast<std::size_t>(shard)];
   const std::size_t mask = capacity_ - 1;
-  std::size_t idx = start_of(key);
-  std::size_t walked = 0;
-  while (walked < capacity_) {
-    const Slot s = co_await t.get(slot_ptr(sh, idx));
-    note_probe(t.rank());
-    if (s.state == kBusy) {
-      note_retry(t.rank());
-      co_await sim::delay(rt_->engine(), sim::from_seconds(kBusyBackoffS));
-      continue;
-    }
-    if (s.state == kEmpty) co_return KvHit{};
-    if (s.state == kFull && s.key == key) {
-      const std::uint64_t old =
-          co_await t.compare_swap(state_ptr(sh, idx), kFull, kBusy);
-      if (old != kFull) {
+  for (;;) {  // restarted when a claimed slot turned out to hold another key
+    std::size_t idx = start_of(key);
+    std::size_t walked = 0;
+    bool restart = false;
+    while (walked < capacity_) {
+      const Slot s = co_await t.get(slot_ptr(sh, idx));
+      note_probe(t.rank());
+      if (s.state == kBusy) {
         note_retry(t.rank());
         co_await sim::delay(rt_->engine(), sim::from_seconds(kBusyBackoffS));
         continue;
       }
-      // The claim serializes writers, so the fetch_add below is the only
-      // mutation in flight; its return value is the pre-claim value.
-      const std::uint64_t before =
-          co_await t.fetch_add(value_ptr(sh, idx), delta);
-      co_await t.put(state_ptr(sh, idx), kFull);
-      co_return KvHit{before + delta, 1};
+      if (s.state == kEmpty) co_return KvHit{};
+      if (s.state == kFull && s.key == key) {
+        const Claim c = co_await claim_full_slot(t, sh, idx, key);
+        if (c != Claim::won) {
+          note_retry(t.rank());
+          co_await sim::delay(rt_->engine(), sim::from_seconds(kBusyBackoffS));
+          if (c == Claim::lost) continue;  // re-read: a racer claimed first
+          restart = true;  // slot now holds another key: rebuild the view
+          break;
+        }
+        // The claim serializes writers, so the fetch_add below is the only
+        // mutation in flight; its return value is the pre-claim value.
+        const std::uint64_t before =
+            co_await t.fetch_add(value_ptr(sh, idx), delta);
+        co_await t.put(state_ptr(sh, idx), kFull);
+        co_return KvHit{before + delta, 1};
+      }
+      idx = (idx + 1) & mask;
+      ++walked;
     }
-    idx = (idx + 1) & mask;
-    ++walked;
+    if (restart) continue;
+    co_return KvHit{};
   }
-  co_return KvHit{};
 }
 
 // --- owner-side execution (RPC path) ------------------------------------

@@ -12,10 +12,14 @@
 //
 // A writer CLAIMS a slot by compare_swap'ing its state word to `busy`,
 // publishes key/value with plain puts, and RELEASES by storing the final
-// state. Readers re-read busy slots until the claimant publishes; the
-// claim windows are a few round trips wide, and the single-threaded event
-// engine makes every interleaving reproducible. Mutating ONE key from two
-// ranks concurrently is linearized by the claim CAS; concurrently
+// state. Because the window between a probe read and the claim CAS is
+// several round trips wide, a slot can be erased and its tombstone reused
+// for a different key in that window with the state word back at `full`
+// (ABA); every full-slot claim therefore re-reads the key under the claim
+// and, on a mismatch, releases the slot untouched and re-probes. Readers
+// re-read busy slots until the claimant publishes; the single-threaded
+// event engine makes every interleaving reproducible. Mutating ONE key
+// from two ranks concurrently is linearized by the claim CAS; concurrently
 // INSERTING the same brand-new key from two ranks is the one race the
 // protocol does not arbitrate (both may claim distinct empty slots) —
 // callers partition first-insert responsibility, as kv::run_serving's
@@ -175,10 +179,24 @@ class KvStore {
     return {sh.meta.owner, sh.meta.raw + 1};
   }
 
-  /// Selector + locality → concrete path; counts the op and path.
-  [[nodiscard]] KvPath resolve(KvOp op, gas::Thread& t, int shard);
+  /// Selector + locality → concrete path; counts the op and path. A
+  /// non-automatic `call_override` (the per-call argument) wins over the
+  /// store-wide selector without touching it.
+  [[nodiscard]] KvPath resolve(KvOp op, gas::Thread& t, int shard,
+                               KvPath call_override);
 
   // Caller-side AMO protocol.
+
+  /// Outcome of a verified full-slot claim: `lost` the CAS to a racer,
+  /// `won` it with the expected key still in place, or `moved` — the CAS
+  /// succeeded but the slot was recycled to another key inside the claim
+  /// window (erase + tombstone reuse), so the claimant released it and
+  /// must re-probe from scratch.
+  enum class Claim : std::uint8_t { won, lost, moved };
+  [[nodiscard]] sim::Task<Claim> claim_full_slot(gas::Thread& t,
+                                                 const Shard& sh,
+                                                 std::size_t idx,
+                                                 std::uint64_t key);
   [[nodiscard]] sim::Task<KvHit> amo_get(gas::Thread& t, int shard,
                                          std::uint64_t key);
   [[nodiscard]] sim::Task<bool> amo_put(gas::Thread& t, int shard,

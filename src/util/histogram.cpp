@@ -100,8 +100,12 @@ double LogHistogram::percentile(double p) const {
     if (seen + c >= target) {
       const double lo = bucket_floor(i);
       const double hi = bucket_floor(i + 1);
-      const double within =
-          static_cast<double>(target - seen) / static_cast<double>(c);
+      // Midpoint-rank convention: the k-th of the bucket's c samples sits
+      // at the CENTER of its 1/c sliver, not its upper edge, so estimates
+      // are centered on percentile_sorted's rank interpolation instead of
+      // biased high by up to one rank's width.
+      const double within = (static_cast<double>(target - seen) - 0.5) /
+                            static_cast<double>(c);
       const double est = lo + within * (hi - lo);
       return std::clamp(est, min_, max_);
     }

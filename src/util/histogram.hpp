@@ -54,8 +54,10 @@ class LogHistogram {
   [[nodiscard]] double percentile_ceiling(double p) const;
 
   /// Percentile estimate: locates the bucket covering rank ceil(p*total),
-  /// interpolates linearly within it, and clamps to the exact [min, max].
-  /// Returns 0 for an empty histogram.
+  /// interpolates linearly within it placing each rank at the midpoint of
+  /// its 1/count sliver (approximating util::percentile_sorted without the
+  /// upper-edge bias), and clamps to the exact [min, max]. Returns 0 for
+  /// an empty histogram.
   [[nodiscard]] double percentile(double p) const;
 
   /// Text rendering: one line per non-empty bucket with a proportional bar.

@@ -13,9 +13,12 @@ namespace hupc::util {
 
 /// THE percentile definition for the whole suite: linear interpolation
 /// between closest ranks (rank = p * (n-1)) over an ALREADY SORTED span,
-/// `p01` in [0, 1]. util::Stats, perf::summarize (median, MAD, bootstrap
-/// CI), and util::LogHistogram's within-bucket interpolation all route
-/// through this one formula so p50/p99 means the same thing everywhere.
+/// `p01` in [0, 1]. util::Stats and perf::summarize (median, MAD,
+/// bootstrap CI) call this directly; util::LogHistogram::percentile
+/// approximates it from bucket counts with a midpoint-rank convention
+/// (rank k of a c-count bucket sits at (k - 0.5)/c of the bucket span),
+/// so histogram estimates are centered on this definition rather than
+/// upper-edge bounds of it.
 [[nodiscard]] inline double percentile_sorted(std::span<const double> sorted,
                                               double p01) noexcept {
   if (sorted.empty()) return 0.0;

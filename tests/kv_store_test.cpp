@@ -17,6 +17,7 @@
 #include "kv/selector.hpp"
 #include "kv/shard_map.hpp"
 #include "kv/workload.hpp"
+#include "sim/time.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -334,6 +335,78 @@ TEST(KvStore, ConcurrentUpdatesOnOneKeyLinearize) {
   const auto snap = store.snapshot();
   ASSERT_EQ(snap.size(), 1u);
   EXPECT_EQ(snap.front().second, kPerRank * kThreads);
+}
+
+TEST(KvStore, FullSlotClaimReverifiesKeyAfterTombstoneReuse) {
+  // ABA regression: in the several-round-trip window between a remote
+  // rank's probe read and its claim CAS, the owner can erase the probed key
+  // and reinsert a DIFFERENT key into the same slot (tombstone reuse),
+  // returning the state word to `full`. A claim that checks only the state
+  // word then mutates the wrong key. Sweep the owner's start delay across
+  // the window so some iteration lands erase+reuse exactly inside the
+  // claim, for each mutating op; k2 must survive every interleaving.
+  constexpr std::size_t kCap = 8;
+  const auto in_shard0 = [](std::uint64_t k) {
+    return (kv::mix64(k) & 1) == 0;
+  };
+  const auto chain_start = [&](std::uint64_t k) {
+    return static_cast<std::size_t>(kv::mix64(k) >> 17) & (kCap - 1);
+  };
+  // Two shard-0 keys whose probe chains START on the same slot of an
+  // 8-slot shard: into an otherwise-empty shard, erase(k1) + put(k2)
+  // reuses k1's exact slot.
+  std::uint64_t k1 = 0;
+  while (!in_shard0(k1)) ++k1;
+  std::uint64_t k2 = k1 + 1;
+  while (!in_shard0(k2) || chain_start(k2) != chain_start(k1)) ++k2;
+
+  for (int op = 0; op < 3; ++op) {
+    for (int step = 0; step <= 40; ++step) {
+      sim::Engine engine;
+      Runtime rt(engine, small_config(2));
+      async::RpcDomain rpc(rt);
+      kv::KvStore::Params params;
+      params.capacity = kCap;
+      kv::KvStore store(rt, rpc, kv::ShardMap(std::vector<int>{0}, 2),
+                        params);
+      rt.spmd([&](Thread& t) -> sim::Task<void> {
+        if (t.rank() == 0) {
+          EXPECT_TRUE(co_await store.put(t, k1, 111, kv::KvPath::rpc));
+        }
+        co_await t.barrier();
+        if (t.rank() == 1) {
+          // The victim mutator: probes k1 over the wire on the AMO path.
+          if (op == 0) {
+            (void)co_await store.put(t, k1, 222, kv::KvPath::amo);
+          } else if (op == 1) {
+            (void)co_await store.erase(t, k1, kv::KvPath::amo);
+          } else {
+            (void)co_await store.update(t, k1, 5, kv::KvPath::amo);
+          }
+        } else {
+          // The owner recycles k1's slot for k2 after a swept delay.
+          co_await sim::delay(engine, sim::from_seconds(
+                                          static_cast<double>(step) *
+                                          250e-9));
+          (void)co_await store.erase(t, k1, kv::KvPath::rpc);
+          EXPECT_TRUE(co_await store.put(t, k2, 333, kv::KvPath::rpc));
+        }
+        co_await t.barrier();
+        if (t.rank() == 1) {
+          const kv::KvHit h = co_await store.get(t, k2);
+          EXPECT_EQ(h.found, 1) << "op " << op << " step " << step;
+          EXPECT_EQ(h.value, 333u) << "op " << op << " step " << step;
+        }
+        co_await t.barrier();
+      });
+      rt.run_to_completion();
+      EXPECT_EQ(store.shard_live(0), store.shard_live_recount(0))
+          << "op " << op << " step " << step;
+      for (const auto& [key, value] : store.snapshot()) {
+        EXPECT_TRUE(key == k1 || key == k2) << "stray key " << key;
+      }
+    }
+  }
 }
 
 TEST(KvStore, StatsAttributeEveryOpToExactlyOnePath) {
